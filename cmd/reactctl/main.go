@@ -1,0 +1,169 @@
+// Command reactctl is the client CLI for a reactd region server.
+//
+// Usage:
+//
+//	reactctl -addr localhost:7341 stats
+//	reactctl -addr localhost:7341 submit -id t1 -deadline 90s -category traffic -desc "Is road A congested?"
+//	reactctl -addr localhost:7341 work -id alice -min 1s -max 5s -quality 0.9
+//	reactctl -addr localhost:7341 watch
+//
+// "work" emulates a crowd worker with the §V.C behaviour model: it
+// registers, receives assignments, works for a random time inside its band
+// (occasionally delaying), and submits an answer. "watch" streams every
+// task result and grades it with positive feedback when it met the
+// deadline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"time"
+
+	"react/internal/crowd"
+	"react/internal/wire"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:7341", "region server address")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+	}
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+
+	client, err := wire.Dial(*addr)
+	if err != nil {
+		log.Fatalf("reactctl: dial %s: %v", *addr, err)
+	}
+	defer client.Close()
+
+	switch cmd {
+	case "stats":
+		runStats(client)
+	case "regions":
+		runRegions(client)
+	case "submit":
+		runSubmit(client, args)
+	case "work":
+		runWork(client, args)
+	case "watch":
+		runWatch(client)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: reactctl [-addr host:port] {stats|regions|submit|work|watch} [flags]")
+	os.Exit(2)
+}
+
+func runStats(c *wire.Client) {
+	st, err := c.Stats()
+	if err != nil {
+		log.Fatalf("reactctl: %v", err)
+	}
+	fmt.Printf("received    %d\nassigned    %d\ncompleted   %d\non-time     %d\nexpired     %d\nreassigned  %d\nbatches     %d\nworkers     %d\n",
+		st.Received, st.Assigned, st.Completed, st.OnTime, st.Expired,
+		st.Reassigned, st.Batches, st.WorkersOnline)
+}
+
+func runRegions(c *wire.Client) {
+	regions, err := c.Regions()
+	if err != nil {
+		log.Fatalf("reactctl: %v", err)
+	}
+	fmt.Printf("%-10s %-9s %-9s %-9s %-8s %s\n",
+		"region", "received", "ontime", "expired", "workers", "reassigned")
+	for _, r := range regions {
+		fmt.Printf("%-10s %-9d %-9d %-9d %-8d %d\n",
+			r.Region, r.Stats.Received, r.Stats.OnTime, r.Stats.Expired,
+			r.Stats.WorkersOnline, r.Stats.Reassigned)
+	}
+}
+
+func runSubmit(c *wire.Client, args []string) {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	id := fs.String("id", "", "task id (required)")
+	deadline := fs.Duration("deadline", 90*time.Second, "relative deadline")
+	category := fs.String("category", "traffic", "task category")
+	desc := fs.String("desc", "", "task description")
+	lat := fs.Float64("lat", 37.98, "task latitude")
+	lon := fs.Float64("lon", 23.73, "task longitude")
+	reward := fs.Float64("reward", 0.05, "reward in dollars")
+	fs.Parse(args)
+	if *id == "" {
+		log.Fatal("reactctl submit: -id is required")
+	}
+	err := c.Submit(wire.TaskPayload{
+		ID: *id, Lat: *lat, Lon: *lon,
+		DeadlineMS: deadline.Milliseconds(),
+		Reward:     *reward, Category: *category, Description: *desc,
+	})
+	if err != nil {
+		log.Fatalf("reactctl: %v", err)
+	}
+	fmt.Printf("submitted %s (deadline %v)\n", *id, *deadline)
+}
+
+func runWork(c *wire.Client, args []string) {
+	fs := flag.NewFlagSet("work", flag.ExitOnError)
+	id := fs.String("id", "", "worker id (required)")
+	lat := fs.Float64("lat", 37.98, "worker latitude")
+	lon := fs.Float64("lon", 23.73, "worker longitude")
+	minExec := fs.Duration("min", time.Second, "fastest completion")
+	maxExec := fs.Duration("max", 5*time.Second, "slowest base completion")
+	delayP := fs.Float64("delay-prob", 0, "probability of delaying a task")
+	maxDelay := fs.Duration("max-delay", 30*time.Second, "worst delayed completion")
+	seed := fs.Int64("seed", time.Now().UnixNano(), "behaviour seed")
+	fs.Parse(args)
+	if *id == "" {
+		log.Fatal("reactctl work: -id is required")
+	}
+	b := crowd.Behavior{
+		MinExec: *minExec, MaxExec: *maxExec,
+		DelayProb: *delayP, MaxDelay: *maxDelay, Quality: 1,
+	}
+	if err := b.Validate(); err != nil {
+		log.Fatalf("reactctl work: %v", err)
+	}
+	if err := c.Register(*id, *lat, *lon); err != nil {
+		log.Fatalf("reactctl: %v", err)
+	}
+	log.Printf("worker %s online; waiting for assignments", *id)
+	rng := rand.New(rand.NewSource(*seed))
+	for a := range c.Assignments() {
+		exec := b.ExecTime(rng)
+		log.Printf("assigned %s (%s, %.0fs left) — working %v",
+			a.TaskID, a.Category, float64(a.DeadlineMS)/1000, exec)
+		time.Sleep(exec)
+		answer := fmt.Sprintf("answer to %q from %s", a.Description, *id)
+		if err := c.Complete(a.TaskID, *id, answer); err != nil {
+			log.Printf("complete %s: %v (likely reassigned)", a.TaskID, err)
+			continue
+		}
+		log.Printf("completed %s", a.TaskID)
+	}
+}
+
+func runWatch(c *wire.Client) {
+	if err := c.Watch(); err != nil {
+		log.Fatalf("reactctl: %v", err)
+	}
+	log.Print("watching results (ctrl-c to stop)")
+	for r := range c.Results() {
+		switch {
+		case r.Expired:
+			fmt.Printf("EXPIRED  %s\n", r.TaskID)
+		case r.MetDeadline:
+			fmt.Printf("ON-TIME  %s by %s: %s\n", r.TaskID, r.WorkerID, r.Answer)
+			c.Feedback(r.TaskID, true)
+		default:
+			fmt.Printf("LATE     %s by %s: %s\n", r.TaskID, r.WorkerID, r.Answer)
+			c.Feedback(r.TaskID, false)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Command reactd runs one REACT region server: the deployable middleware of
+// Figure 1, listening for workers and requesters over the JSON/TCP protocol
+// in internal/wire.
+//
+// Usage:
+//
+//	reactd -addr :7341
+//	reactd -addr :7341 -matcher greedy -cycles 3000 -batch-bound 10
+//
+// Interact with it using reactctl (register workers, submit tasks, watch
+// results) or any client speaking the newline-delimited JSON protocol.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"react/internal/core"
+	"react/internal/federation"
+	"react/internal/matching"
+	"react/internal/region"
+	"react/internal/schedule"
+	"react/internal/wire"
+)
+
+func main() {
+	addr := flag.String("addr", ":7341", "listen address")
+	matcherName := flag.String("matcher", "react", "matching algorithm: react|metropolis|greedy|hungarian|uniform")
+	cycles := flag.Int("cycles", 0, "cycle budget for react/metropolis (0 = adaptive)")
+	batchBound := flag.Int("batch-bound", 10, "run a batch once this many tasks are unassigned")
+	batchPeriod := flag.Duration("batch-period", 5*time.Second, "maximum interval between batches")
+	probBound := flag.Float64("edge-bound", 0.1, "Eq.3 probability bound for instantiating an edge")
+	threshold := flag.Float64("reassign-threshold", 0.1, "Eq.2 probability below which a task is reassigned")
+	monitorPeriod := flag.Duration("monitor-period", time.Second, "Eq.2 sweep period")
+	statsEvery := flag.Duration("stats-every", 30*time.Second, "stats logging period (0 disables)")
+	profiles := flag.String("profiles", "", "profile snapshot file: loaded at startup, saved at shutdown (single-region mode only)")
+	retention := flag.Duration("retention", time.Hour, "how long terminal task records are kept for late feedback")
+	grid := flag.String("grid", "", "multi-region mode: \"RxC\" decomposition of -area (e.g. 2x2); empty = single region")
+	area := flag.String("area", "37.8,23.5,38.2,24.0", "geographic area as minLat,minLon,maxLat,maxLon (multi-region mode)")
+	flag.Parse()
+
+	var matcher matching.Matcher
+	switch *matcherName {
+	case "react":
+		matcher = matching.REACT{Cycles: *cycles, Adaptive: *cycles == 0}
+	case "metropolis":
+		matcher = matching.Metropolis{Cycles: *cycles, Adaptive: *cycles == 0}
+	case "greedy":
+		matcher = matching.Greedy{}
+	case "hungarian":
+		matcher = matching.Hungarian{}
+	case "uniform":
+		matcher = matching.Uniform{}
+	default:
+		fmt.Fprintf(os.Stderr, "reactd: unknown matcher %q\n", *matcherName)
+		os.Exit(2)
+	}
+
+	opts := core.Options{
+		Matcher:       matcher,
+		MonitorPeriod: *monitorPeriod,
+		Retention:     *retention,
+		Schedule: schedule.Config{
+			BatchBound:    *batchBound,
+			BatchPeriod:   *batchPeriod,
+			EdgeProbBound: *probBound,
+		},
+		OnReassign: func(taskID, workerID string, p float64) {
+			log.Printf("reassign task=%s worker=%s eq2=%.3f", taskID, workerID, p)
+		},
+	}
+	opts.Monitor.Threshold = *threshold
+
+	var srv *wire.Server
+	var err error
+	if *grid != "" {
+		srv, err = serveGrid(*addr, *grid, *area, opts)
+		if *profiles != "" {
+			log.Print("reactd: -profiles is ignored in multi-region mode")
+			*profiles = ""
+		}
+	} else {
+		srv, err = wire.Serve(*addr, opts)
+	}
+	if err != nil {
+		log.Fatalf("reactd: %v", err)
+	}
+	log.Printf("reactd: listening on %s (matcher=%s, grid=%q)", srv.Addr(), *matcherName, *grid)
+
+	if *profiles != "" && srv.Core() != nil {
+		if f, err := os.Open(*profiles); err == nil {
+			n, err := srv.Core().LoadProfiles(f)
+			f.Close()
+			if err != nil {
+				log.Printf("reactd: loading profiles: %v (after %d workers)", err, n)
+			} else {
+				log.Printf("reactd: restored %d worker profiles from %s", n, *profiles)
+			}
+		} else if !os.IsNotExist(err) {
+			log.Printf("reactd: open profiles: %v", err)
+		}
+	}
+
+	if *statsEvery > 0 {
+		go func() {
+			ticker := time.NewTicker(*statsEvery)
+			defer ticker.Stop()
+			for range ticker.C {
+				st := srv.Backend().Stats()
+				log.Printf("stats received=%d assigned=%d completed=%d ontime=%d expired=%d reassigned=%d batches=%d workers=%d",
+					st.Received, st.Assigned, st.Completed, st.OnTime,
+					st.Expired, st.Reassigned, st.Batches, st.WorkersOnline)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("reactd: shutting down")
+	if *profiles != "" && srv.Core() != nil {
+		if err := saveProfiles(srv, *profiles); err != nil {
+			log.Printf("reactd: saving profiles: %v", err)
+		} else {
+			log.Printf("reactd: saved worker profiles to %s", *profiles)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		log.Printf("reactd: close: %v", err)
+	}
+}
+
+// serveGrid hosts one region server per grid cell behind a single port,
+// routing by geography — the paper's spatial decomposition as a deployment
+// flag.
+func serveGrid(addr, gridSpec, areaSpec string, opts core.Options) (*wire.Server, error) {
+	var rows, cols int
+	if _, err := fmt.Sscanf(gridSpec, "%dx%d", &rows, &cols); err != nil {
+		return nil, fmt.Errorf("bad -grid %q (want RxC): %v", gridSpec, err)
+	}
+	var rect region.Rect
+	if _, err := fmt.Sscanf(areaSpec, "%f,%f,%f,%f",
+		&rect.MinLat, &rect.MinLon, &rect.MaxLat, &rect.MaxLon); err != nil {
+		return nil, fmt.Errorf("bad -area %q: %v", areaSpec, err)
+	}
+	g, err := region.NewGrid(rect, rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	var relay wire.ResultRelay
+	regionOpts := opts
+	userHook := opts.OnResult
+	regionOpts.OnResult = func(r core.Result) {
+		if userHook != nil {
+			userHook(r)
+		}
+		relay.Publish(r)
+	}
+	coord := federation.New(g, func(regionID string) *core.Server {
+		log.Printf("reactd: starting region server %s", regionID)
+		return core.New(regionOpts)
+	})
+	return wire.ServeBackend(addr, coord, &relay)
+}
+
+// saveProfiles writes the snapshot atomically via a temp file rename.
+func saveProfiles(srv *wire.Server, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := srv.Core().SaveProfiles(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

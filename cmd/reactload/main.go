@@ -1,0 +1,52 @@
+// Command reactload drives a running reactd region server with a synthetic
+// crowd and task stream (the §V.C behaviour model) over real TCP, then
+// prints the deadline/feedback outcome — a live smoke test of a deployment.
+//
+// Durations are compressed (default 100×) so a run finishes in seconds; the
+// target server's loops must be correspondingly fast, e.g.:
+//
+//	reactd -addr :7341 -batch-period 50ms -monitor-period 20ms
+//	reactload -addr localhost:7341 -workers 30 -rate 8 -tasks 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"react/internal/loadgen"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:7341", "region server address")
+	workers := flag.Int("workers", 20, "synthetic crowd size")
+	rate := flag.Float64("rate", 5, "tasks per (uncompressed) second")
+	tasks := flag.Int("tasks", 100, "total tasks to submit")
+	seed := flag.Int64("seed", time.Now().UnixNano(), "behaviour/workload seed")
+	compress := flag.Float64("compress", 100, "time compression factor")
+	flag.Parse()
+
+	rep, err := loadgen.Run(loadgen.Config{
+		Addr:     *addr,
+		Workers:  *workers,
+		Rate:     *rate,
+		Tasks:    *tasks,
+		Seed:     *seed,
+		Compress: *compress,
+		Logf:     log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("reactload: %v", err)
+	}
+	fmt.Printf("submitted   %d\nresults     %d\non-time     %d (%.1f%%)\nlate        %d\nexpired     %d\npositive    %d\nwall time   %v\n",
+		rep.Submitted, rep.Results, rep.OnTime,
+		100*float64(rep.OnTime)/float64(max(rep.Submitted, 1)),
+		rep.Late, rep.Expired, rep.Positive, rep.Wall.Round(time.Millisecond))
+	fmt.Printf("server: assigned %d, reassigned %d, batches %d, workers online %d\n",
+		rep.Server.Assigned, rep.Server.Reassigned, rep.Server.Batches, rep.Server.WorkersOnline)
+	if rep.Results < rep.Submitted {
+		fmt.Fprintf(os.Stderr, "warning: %d tasks unresolved at exit\n", rep.Submitted-rep.Results)
+	}
+}

@@ -1,0 +1,92 @@
+// Quickstart: embed a REACT region server in-process, run five goroutine
+// workers against it, submit twenty deadline-bound tasks, and print the
+// outcome. This is the smallest complete use of the middleware: register
+// workers, submit tasks, drain assignment feeds, complete, grade.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"react/internal/core"
+	"react/internal/region"
+	"react/internal/schedule"
+	"react/internal/taskq"
+)
+
+func main() {
+	// A server with snappy loops: quickstart tasks live for seconds, not
+	// minutes.
+	srv := core.New(core.Options{
+		BatchPoll:     10 * time.Millisecond,
+		MonitorPeriod: 50 * time.Millisecond,
+		Schedule:      schedule.Config{BatchBound: 3, BatchPeriod: 50 * time.Millisecond},
+	})
+	srv.Start()
+	defer srv.Stop()
+
+	athens := region.Point{Lat: 37.98, Lon: 23.73}
+	var completed atomic.Int32
+	var wg sync.WaitGroup
+
+	// Five workers with different speeds. Each drains its assignment feed,
+	// "works" for its personal duration, and submits an answer.
+	for i := 0; i < 5; i++ {
+		id := fmt.Sprintf("worker-%d", i)
+		speed := time.Duration(20+30*i) * time.Millisecond
+		feed, err := srv.RegisterWorker(id, athens)
+		if err != nil {
+			log.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for a := range feed {
+				time.Sleep(speed)
+				answer := fmt.Sprintf("done by %s", a.WorkerID)
+				if _, err := srv.Complete(a.TaskID, a.WorkerID, answer); err == nil {
+					completed.Add(1)
+					// The requester grades timely work positively, which
+					// feeds the Eq. 1 quality weights for future batches.
+					srv.Feedback(a.TaskID, true)
+				}
+			}
+		}()
+	}
+
+	// Twenty tasks with 2-second deadlines.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20; i++ {
+		err := srv.Submit(taskq.Task{
+			ID:          fmt.Sprintf("task-%02d", i),
+			Location:    athens,
+			Deadline:    time.Now().Add(2 * time.Second),
+			Reward:      0.01 + rng.Float64()*0.09,
+			Category:    "traffic",
+			Description: "Is the ring road congested?",
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Wait for everything to finish (bounded).
+	deadline := time.Now().Add(10 * time.Second)
+	for completed.Load() < 20 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	srv.Stop() // closes feeds so the workers exit
+	wg.Wait()
+
+	st := srv.Stats()
+	fmt.Printf("submitted 20 tasks → completed %d, on time %d, batches %d, matcher time %v\n",
+		st.Completed, st.OnTime, st.Batches, st.MatcherTime.Round(time.Microsecond))
+	for _, p := range srv.Workers().All() {
+		acc, _ := p.OverallAccuracy()
+		fmt.Printf("  %s finished %d tasks (accuracy %.2f)\n", p.ID(), p.Finished(), acc)
+	}
+}

@@ -1,0 +1,188 @@
+package bipartite
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Dynamic is the incrementally maintained form of the weighted bipartite
+// graph (§IV.A: "the weighted bipartite graph is constructed and maintained
+// in real-time ... Whenever a worker is available, the corresponding vertex
+// is added and vice versa"). Workers and tasks arrive and depart between
+// batches; edges attach to live vertex pairs and die with either endpoint.
+// Snapshot freezes the current state into the compact immutable Graph the
+// matchers consume, so matching never blocks churn.
+//
+// Dynamic is safe for concurrent use.
+type Dynamic struct {
+	mu      sync.Mutex
+	workers map[string]map[string]float64 // worker → task → weight
+	tasks   map[string]map[string]bool    // task → workers with an edge
+	edges   int
+}
+
+// NewDynamic returns an empty dynamic graph.
+func NewDynamic() *Dynamic {
+	return &Dynamic{
+		workers: make(map[string]map[string]float64),
+		tasks:   make(map[string]map[string]bool),
+	}
+}
+
+// AddWorker inserts a worker vertex; duplicate IDs error.
+func (d *Dynamic) AddWorker(id string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.workers[id]; dup {
+		return fmt.Errorf("%w: worker %q", ErrDuplicateID, id)
+	}
+	d.workers[id] = make(map[string]float64)
+	return nil
+}
+
+// AddTask inserts a task vertex; duplicate IDs error.
+func (d *Dynamic) AddTask(id string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.tasks[id]; dup {
+		return fmt.Errorf("%w: task %q", ErrDuplicateID, id)
+	}
+	d.tasks[id] = make(map[string]bool)
+	return nil
+}
+
+// RemoveWorker deletes a worker and every incident edge (the worker went
+// offline or became busy).
+func (d *Dynamic) RemoveWorker(id string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	edges, ok := d.workers[id]
+	if !ok {
+		return fmt.Errorf("%w: worker %q", ErrUnknownVertex, id)
+	}
+	for taskID := range edges {
+		delete(d.tasks[taskID], id)
+		d.edges--
+	}
+	delete(d.workers, id)
+	return nil
+}
+
+// RemoveTask deletes a task and every incident edge (assigned, completed,
+// or expired).
+func (d *Dynamic) RemoveTask(id string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	holders, ok := d.tasks[id]
+	if !ok {
+		return fmt.Errorf("%w: task %q", ErrUnknownVertex, id)
+	}
+	for workerID := range holders {
+		delete(d.workers[workerID], id)
+		d.edges--
+	}
+	delete(d.tasks, id)
+	return nil
+}
+
+// SetEdge inserts or updates the (worker, task) edge weight. Both vertices
+// must exist; negative weights are rejected.
+func (d *Dynamic) SetEdge(workerID, taskID string, weight float64) error {
+	if weight < 0 {
+		return fmt.Errorf("%w: %v on (%s,%s)", ErrNegativeWeight, weight, workerID, taskID)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	we, ok := d.workers[workerID]
+	if !ok {
+		return fmt.Errorf("%w: worker %q", ErrUnknownVertex, workerID)
+	}
+	if _, ok := d.tasks[taskID]; !ok {
+		return fmt.Errorf("%w: task %q", ErrUnknownVertex, taskID)
+	}
+	if _, exists := we[taskID]; !exists {
+		d.edges++
+		d.tasks[taskID][workerID] = true
+	}
+	we[taskID] = weight
+	return nil
+}
+
+// RemoveEdge prunes one edge (e.g. the Eq. 3 probability dropped below the
+// bound on a deadline recheck).
+func (d *Dynamic) RemoveEdge(workerID, taskID string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	we, ok := d.workers[workerID]
+	if !ok {
+		return fmt.Errorf("%w: worker %q", ErrUnknownVertex, workerID)
+	}
+	if _, exists := we[taskID]; !exists {
+		return fmt.Errorf("%w: (%s,%s)", ErrNotSelected, workerID, taskID)
+	}
+	delete(we, taskID)
+	delete(d.tasks[taskID], workerID)
+	d.edges--
+	return nil
+}
+
+// Weight reads an edge weight.
+func (d *Dynamic) Weight(workerID, taskID string) (float64, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	we, ok := d.workers[workerID]
+	if !ok {
+		return 0, false
+	}
+	w, ok := we[taskID]
+	return w, ok
+}
+
+// Counts reports (workers, tasks, edges).
+func (d *Dynamic) Counts() (workers, tasks, edges int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.workers), len(d.tasks), d.edges
+}
+
+// Snapshot freezes the current state into an immutable Graph with vertices
+// sorted by ID, so equal dynamic states always snapshot to identical graphs
+// (determinism for the matchers' RNG-driven search).
+func (d *Dynamic) Snapshot() *Graph {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	workerIDs := make([]string, 0, len(d.workers))
+	for id := range d.workers {
+		workerIDs = append(workerIDs, id)
+	}
+	sort.Strings(workerIDs)
+	taskIDs := make([]string, 0, len(d.tasks))
+	for id := range d.tasks {
+		taskIDs = append(taskIDs, id)
+	}
+	sort.Strings(taskIDs)
+
+	b := NewBuilder(len(workerIDs), len(taskIDs))
+	taskIdx := make(map[string]int32, len(taskIDs))
+	for _, id := range workerIDs {
+		b.AddWorker(id) // unique by construction
+	}
+	for i, id := range taskIDs {
+		b.AddTask(id)
+		taskIdx[id] = int32(i)
+	}
+	for wi, workerID := range workerIDs {
+		// Sorted task order keeps edge indices stable across snapshots of
+		// equal states.
+		tasks := make([]string, 0, len(d.workers[workerID]))
+		for taskID := range d.workers[workerID] {
+			tasks = append(tasks, taskID)
+		}
+		sort.Strings(tasks)
+		for _, taskID := range tasks {
+			b.AddEdgeIdx(int32(wi), taskIdx[taskID], d.workers[workerID][taskID])
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,272 @@
+package bipartite
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestDynamicVertexLifecycle(t *testing.T) {
+	d := NewDynamic()
+	if err := d.AddWorker("w1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddWorker("w1"); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("dup worker err = %v", err)
+	}
+	if err := d.AddTask("t1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddTask("t1"); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("dup task err = %v", err)
+	}
+	w, tk, e := d.Counts()
+	if w != 1 || tk != 1 || e != 0 {
+		t.Fatalf("counts = %d/%d/%d", w, tk, e)
+	}
+	if err := d.RemoveWorker("ghost"); !errors.Is(err, ErrUnknownVertex) {
+		t.Fatalf("remove unknown worker err = %v", err)
+	}
+	if err := d.RemoveTask("ghost"); !errors.Is(err, ErrUnknownVertex) {
+		t.Fatalf("remove unknown task err = %v", err)
+	}
+}
+
+func TestDynamicEdgeLifecycle(t *testing.T) {
+	d := NewDynamic()
+	d.AddWorker("w1")
+	d.AddTask("t1")
+	if err := d.SetEdge("w1", "t1", -1); !errors.Is(err, ErrNegativeWeight) {
+		t.Fatalf("negative weight err = %v", err)
+	}
+	if err := d.SetEdge("ghost", "t1", 1); !errors.Is(err, ErrUnknownVertex) {
+		t.Fatalf("unknown worker err = %v", err)
+	}
+	if err := d.SetEdge("w1", "ghost", 1); !errors.Is(err, ErrUnknownVertex) {
+		t.Fatalf("unknown task err = %v", err)
+	}
+	if err := d.SetEdge("w1", "t1", 0.7); err != nil {
+		t.Fatal(err)
+	}
+	if w, ok := d.Weight("w1", "t1"); !ok || w != 0.7 {
+		t.Fatalf("weight = %v, %v", w, ok)
+	}
+	// Update in place does not double-count.
+	d.SetEdge("w1", "t1", 0.9)
+	if _, _, e := d.Counts(); e != 1 {
+		t.Fatalf("edges = %d after update", e)
+	}
+	if w, _ := d.Weight("w1", "t1"); w != 0.9 {
+		t.Fatalf("updated weight = %v", w)
+	}
+	if err := d.RemoveEdge("w1", "t1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RemoveEdge("w1", "t1"); err == nil {
+		t.Fatal("double edge removal accepted")
+	}
+	if _, _, e := d.Counts(); e != 0 {
+		t.Fatalf("edges = %d after removal", e)
+	}
+}
+
+func TestDynamicVertexRemovalDropsEdges(t *testing.T) {
+	d := NewDynamic()
+	for i := 0; i < 3; i++ {
+		d.AddWorker(fmt.Sprintf("w%d", i))
+		d.AddTask(fmt.Sprintf("t%d", i))
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			d.SetEdge(fmt.Sprintf("w%d", i), fmt.Sprintf("t%d", j), 0.5)
+		}
+	}
+	if _, _, e := d.Counts(); e != 9 {
+		t.Fatalf("edges = %d", e)
+	}
+	d.RemoveWorker("w1")
+	if w, _, e := d.Counts(); w != 2 || e != 6 {
+		t.Fatalf("after worker removal: %d workers %d edges", w, e)
+	}
+	d.RemoveTask("t0")
+	if _, tk, e := d.Counts(); tk != 2 || e != 4 {
+		t.Fatalf("after task removal: %d tasks %d edges", tk, e)
+	}
+	// The survivors are exactly {w0,w2}×{t1,t2}.
+	for _, w := range []string{"w0", "w2"} {
+		for _, tk := range []string{"t1", "t2"} {
+			if _, ok := d.Weight(w, tk); !ok {
+				t.Fatalf("edge (%s,%s) lost", w, tk)
+			}
+		}
+	}
+}
+
+func TestSnapshotMatchesBatchConstruction(t *testing.T) {
+	// Property: a dynamic graph built by churn snapshots to exactly the
+	// graph a fresh batch build would produce from the surviving state.
+	rng := rand.New(rand.NewSource(77))
+	d := NewDynamic()
+	type edge struct{ w, t string }
+	live := map[edge]float64{}
+	workers := map[string]bool{}
+	tasks := map[string]bool{}
+
+	for op := 0; op < 2000; op++ {
+		switch rng.Intn(6) {
+		case 0:
+			id := fmt.Sprintf("w%d", rng.Intn(20))
+			if !workers[id] {
+				d.AddWorker(id)
+				workers[id] = true
+			}
+		case 1:
+			id := fmt.Sprintf("t%d", rng.Intn(20))
+			if !tasks[id] {
+				d.AddTask(id)
+				tasks[id] = true
+			}
+		case 2:
+			id := fmt.Sprintf("w%d", rng.Intn(20))
+			if workers[id] {
+				d.RemoveWorker(id)
+				delete(workers, id)
+				for e := range live {
+					if e.w == id {
+						delete(live, e)
+					}
+				}
+			}
+		case 3:
+			id := fmt.Sprintf("t%d", rng.Intn(20))
+			if tasks[id] {
+				d.RemoveTask(id)
+				delete(tasks, id)
+				for e := range live {
+					if e.t == id {
+						delete(live, e)
+					}
+				}
+			}
+		default:
+			w := fmt.Sprintf("w%d", rng.Intn(20))
+			tk := fmt.Sprintf("t%d", rng.Intn(20))
+			if workers[w] && tasks[tk] {
+				weight := float64(rng.Intn(100)) / 100
+				d.SetEdge(w, tk, weight)
+				live[edge{w, tk}] = weight
+			}
+		}
+	}
+
+	g := d.Snapshot()
+	if g.NumWorkers() != len(workers) || g.NumTasks() != len(tasks) || g.NumEdges() != len(live) {
+		t.Fatalf("snapshot dims %d/%d/%d, want %d/%d/%d",
+			g.NumWorkers(), g.NumTasks(), g.NumEdges(), len(workers), len(tasks), len(live))
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(i)
+		key := edge{g.WorkerID(e.Worker), g.TaskID(e.Task)}
+		if want, ok := live[key]; !ok || want != e.Weight {
+			t.Fatalf("snapshot edge %v/%v weight %v, want %v (ok=%v)",
+				key.w, key.t, e.Weight, want, ok)
+		}
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	build := func() *Graph {
+		d := NewDynamic()
+		// Insertion order differs run to run via map iteration inside, but
+		// the snapshot must not care.
+		for _, id := range []string{"w3", "w1", "w2"} {
+			d.AddWorker(id)
+		}
+		for _, id := range []string{"tB", "tA"} {
+			d.AddTask(id)
+		}
+		d.SetEdge("w2", "tA", 0.5)
+		d.SetEdge("w1", "tB", 0.25)
+		d.SetEdge("w3", "tA", 0.75)
+		return d.Snapshot()
+	}
+	a, b := build(), build()
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("edge counts differ")
+	}
+	for i := 0; i < a.NumEdges(); i++ {
+		if a.Edge(i) != b.Edge(i) {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, a.Edge(i), b.Edge(i))
+		}
+	}
+	if a.WorkerID(0) != "w1" || a.TaskID(0) != "tA" {
+		t.Fatalf("vertex order not sorted: %s/%s", a.WorkerID(0), a.TaskID(0))
+	}
+}
+
+func TestDynamicConcurrent(t *testing.T) {
+	d := NewDynamic()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				w := fmt.Sprintf("g%d-w%d", g, i)
+				tk := fmt.Sprintf("g%d-t%d", g, i)
+				d.AddWorker(w)
+				d.AddTask(tk)
+				d.SetEdge(w, tk, 0.5)
+				if i%3 == 0 {
+					d.RemoveWorker(w)
+				}
+				d.Snapshot()
+			}
+		}(g)
+	}
+	wg.Wait()
+	w, tk, e := d.Counts()
+	// 8 goroutines × 200: workers minus every third removed.
+	wantW := 8 * (200 - 67)
+	if w != wantW || tk != 1600 {
+		t.Fatalf("counts = %d/%d/%d (want %d workers, 1600 tasks)", w, tk, e, wantW)
+	}
+	// Snapshot of the final state is internally consistent.
+	g := d.Snapshot()
+	if g.NumEdges() != e {
+		t.Fatalf("snapshot edges %d != counts %d", g.NumEdges(), e)
+	}
+}
+
+func TestQuickDynamicCountsNonNegative(t *testing.T) {
+	f := func(ops []uint8) bool {
+		d := NewDynamic()
+		for _, op := range ops {
+			id := fmt.Sprintf("v%d", op%8)
+			switch op % 5 {
+			case 0:
+				d.AddWorker(id)
+			case 1:
+				d.AddTask(id)
+			case 2:
+				d.RemoveWorker(id)
+			case 3:
+				d.RemoveTask(id)
+			case 4:
+				d.SetEdge(id, id, 0.5)
+			}
+		}
+		w, tk, e := d.Counts()
+		if w < 0 || tk < 0 || e < 0 {
+			return false
+		}
+		g := d.Snapshot()
+		return g.NumWorkers() == w && g.NumTasks() == tk && g.NumEdges() == e
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(53))}); err != nil {
+		t.Fatal(err)
+	}
+}

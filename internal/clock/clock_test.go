@@ -1,0 +1,108 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSystemNowMovesForward(t *testing.T) {
+	var c System
+	a := c.Now()
+	b := c.Now()
+	if b.Before(a) {
+		t.Fatalf("system clock went backwards: %v then %v", a, b)
+	}
+}
+
+func TestVirtualStartsAtGivenInstant(t *testing.T) {
+	v := NewVirtual(Epoch)
+	if got := v.Now(); !got.Equal(Epoch) {
+		t.Fatalf("Now() = %v, want %v", got, Epoch)
+	}
+}
+
+func TestVirtualZeroValueUsable(t *testing.T) {
+	var v Virtual
+	if !v.Now().IsZero() {
+		t.Fatalf("zero-value Virtual should start at zero time, got %v", v.Now())
+	}
+	v.Advance(time.Second)
+	if got := v.Now().Sub(time.Time{}); got != time.Second {
+		t.Fatalf("after Advance(1s) offset = %v, want 1s", got)
+	}
+}
+
+func TestVirtualAdvance(t *testing.T) {
+	v := NewVirtual(Epoch)
+	got := v.Advance(90 * time.Second)
+	want := Epoch.Add(90 * time.Second)
+	if !got.Equal(want) {
+		t.Fatalf("Advance returned %v, want %v", got, want)
+	}
+	if !v.Now().Equal(want) {
+		t.Fatalf("Now() = %v, want %v", v.Now(), want)
+	}
+}
+
+func TestVirtualAdvanceIgnoresNegative(t *testing.T) {
+	v := NewVirtual(Epoch)
+	v.Advance(-time.Hour)
+	if !v.Now().Equal(Epoch) {
+		t.Fatalf("negative Advance moved the clock to %v", v.Now())
+	}
+	v.Advance(0)
+	if !v.Now().Equal(Epoch) {
+		t.Fatalf("zero Advance moved the clock to %v", v.Now())
+	}
+}
+
+func TestVirtualSet(t *testing.T) {
+	v := NewVirtual(Epoch)
+	later := Epoch.Add(time.Minute)
+	if !v.Set(later) {
+		t.Fatal("Set(later) rejected")
+	}
+	if !v.Now().Equal(later) {
+		t.Fatalf("Now() = %v, want %v", v.Now(), later)
+	}
+	if v.Set(Epoch) {
+		t.Fatal("Set into the past must be rejected")
+	}
+	if !v.Now().Equal(later) {
+		t.Fatalf("rejected Set still moved the clock to %v", v.Now())
+	}
+	// Setting to the exact current instant is allowed (idempotent).
+	if !v.Set(later) {
+		t.Fatal("Set to the current instant should succeed")
+	}
+}
+
+func TestVirtualConcurrentAdvance(t *testing.T) {
+	v := NewVirtual(Epoch)
+	const (
+		goroutines = 8
+		steps      = 1000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < steps; i++ {
+				v.Advance(time.Millisecond)
+				_ = v.Now()
+			}
+		}()
+	}
+	wg.Wait()
+	want := Epoch.Add(goroutines * steps * time.Millisecond)
+	if !v.Now().Equal(want) {
+		t.Fatalf("after concurrent advances Now() = %v, want %v", v.Now(), want)
+	}
+}
+
+func TestClockInterfaceSatisfied(t *testing.T) {
+	var _ Clock = System{}
+	var _ Clock = (*Virtual)(nil)
+}

@@ -1,0 +1,501 @@
+// Package core assembles the four REACT components (Figure 1) into the
+// deployable region server: the Profiling Component (worker registry), the
+// Task Management Component (task registry), the Scheduling Component
+// (batched WBGM), and the Dynamic Assignment Component (Eq. 2 monitor).
+//
+// Unlike the deterministic harness in internal/experiments, this server
+// runs against a real clock with background goroutines, and communicates
+// assignments to workers over channels — it is the middleware a deployment
+// (cmd/reactd, the examples) actually embeds. It still accepts any
+// clock.Clock, so integration tests drive it with a virtual clock.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"react/internal/clock"
+	"react/internal/dynassign"
+	"react/internal/matching"
+	"react/internal/profile"
+	"react/internal/region"
+	"react/internal/schedule"
+	"react/internal/taskq"
+)
+
+// Assignment is the notification a worker receives when the scheduler binds
+// a task to them.
+type Assignment struct {
+	TaskID      string
+	WorkerID    string
+	Category    string
+	Description string
+	Location    region.Point
+	Deadline    time.Time
+	Reward      float64
+}
+
+// Result is delivered to the requester side when a task terminates.
+type Result struct {
+	TaskID      string
+	WorkerID    string // "" when the task expired unassigned
+	Answer      string
+	FinishedAt  time.Time
+	MetDeadline bool
+	Expired     bool
+}
+
+// Options configures a Server. Zero fields take the paper's defaults.
+type Options struct {
+	Clock         clock.Clock      // default clock.System{}
+	Matcher       matching.Matcher // default REACT with adaptive cycles
+	Schedule      schedule.Config  // batching, pruning, weights
+	Monitor       dynassign.Monitor
+	MonitorPeriod time.Duration // Eq. 2 sweep period (default 1s)
+	BatchPoll     time.Duration // batch-trigger poll period (default 200ms)
+	QueueDepth    int           // per-worker assignment channel depth (default 8)
+
+	// OnResult, if set, is invoked for every terminating task (completion
+	// or expiry). Called from server goroutines; implementations must not
+	// block.
+	OnResult func(Result)
+	// OnReassign, if set, is invoked when the monitor revokes an
+	// assignment.
+	OnReassign func(taskID, workerID string, probability float64)
+
+	// Retention bounds how long terminal task records are kept for late
+	// Feedback and diagnostics before being garbage-collected. Zero keeps
+	// everything (suits tests and short-lived tools); long-running servers
+	// should set it (reactd defaults to 1h).
+	Retention time.Duration
+}
+
+func (o Options) normalize() Options {
+	if o.Clock == nil {
+		o.Clock = clock.System{}
+	}
+	if o.Matcher == nil {
+		o.Matcher = matching.REACT{Adaptive: true}
+	}
+	o.Schedule = o.Schedule.Normalize()
+	o.Monitor = o.Monitor.Normalize()
+	if o.MonitorPeriod <= 0 {
+		o.MonitorPeriod = time.Second
+	}
+	if o.BatchPoll <= 0 {
+		o.BatchPoll = 200 * time.Millisecond
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 8
+	}
+	return o
+}
+
+// Errors returned by the server API.
+var (
+	ErrStopped     = errors.New("core: server stopped")
+	ErrNotAssigned = errors.New("core: task not assigned to this worker")
+)
+
+// Stats is a snapshot of the server's counters.
+type Stats struct {
+	Received      int64
+	Assigned      int64
+	Completed     int64
+	OnTime        int64
+	Expired       int64
+	Reassigned    int64
+	Batches       int64
+	MatcherTime   time.Duration
+	WorkersOnline int
+}
+
+// Server is one REACT region server.
+type Server struct {
+	opts    Options
+	workers *profile.Registry
+	tasks   *taskq.Manager
+	trigger *schedule.Trigger
+
+	mu     sync.Mutex // guards trigger, feeds, stats, stopped
+	feeds  map[string]chan Assignment
+	stats  Stats
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// New creates a server; call Start to launch its background loops.
+func New(opts Options) *Server {
+	opts = opts.normalize()
+	return &Server{
+		opts:    opts,
+		workers: profile.NewRegistry(),
+		tasks:   taskq.NewManager(opts.Clock),
+		trigger: schedule.NewTrigger(opts.Schedule, opts.Clock.Now()),
+		feeds:   make(map[string]chan Assignment),
+		stop:    make(chan struct{}),
+	}
+}
+
+// Workers exposes the profiling component (read-mostly; used by tools).
+func (s *Server) Workers() *profile.Registry { return s.workers }
+
+// Worker looks up one worker's profile — the Backend-interface form of
+// Workers().Get used by transports that also serve federations.
+func (s *Server) Worker(id string) (*profile.Profile, bool) { return s.workers.Get(id) }
+
+// Tasks exposes the task-management component.
+func (s *Server) Tasks() *taskq.Manager { return s.tasks }
+
+// Start launches the batch and monitor loops.
+func (s *Server) Start() {
+	s.wg.Add(2)
+	go s.batchLoop()
+	go s.monitorLoop()
+}
+
+// Stop terminates the loops and closes every worker feed. It is idempotent.
+func (s *Server) Stop() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.stop)
+	s.mu.Unlock()
+	s.wg.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, ch := range s.feeds {
+		close(ch)
+		delete(s.feeds, id)
+	}
+}
+
+// RegisterWorker adds a worker and returns the channel on which the worker
+// receives assignments. The channel is closed on DeregisterWorker or Stop.
+func (s *Server) RegisterWorker(id string, loc region.Point) (<-chan Assignment, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrStopped
+	}
+	if _, err := s.workers.Register(id, loc); err != nil {
+		return nil, err
+	}
+	ch := make(chan Assignment, s.opts.QueueDepth)
+	s.feeds[id] = ch
+	return ch, nil
+}
+
+// DeregisterWorker removes a worker. Any task it held is returned to the
+// pool for reassignment.
+func (s *Server) DeregisterWorker(id string) error {
+	p, ok := s.workers.Get(id)
+	if !ok {
+		return fmt.Errorf("%w: %q", profile.ErrUnknownWorker, id)
+	}
+	if taskID := p.CurrentTask(); taskID != "" {
+		if err := s.tasks.Unassign(taskID); err == nil {
+			s.mu.Lock()
+			s.stats.Reassigned++
+			s.mu.Unlock()
+		}
+	}
+	if err := s.workers.Deregister(id); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ch, ok := s.feeds[id]; ok {
+		close(ch)
+		delete(s.feeds, id)
+	}
+	return nil
+}
+
+// DetachWorker handles a worker dropping its connection without leaving
+// the platform: the held task (if any) returns to the pool, the feed
+// closes, and the profile is kept but marked unavailable — workers have
+// "short connectivity cycles" (§I) and their learned history must survive
+// them. Compare DeregisterWorker, which forgets the worker entirely.
+func (s *Server) DetachWorker(id string) error {
+	p, ok := s.workers.Get(id)
+	if !ok {
+		return fmt.Errorf("%w: %q", profile.ErrUnknownWorker, id)
+	}
+	if taskID := p.CurrentTask(); taskID != "" {
+		if err := s.tasks.Unassign(taskID); err == nil {
+			s.mu.Lock()
+			s.stats.Reassigned++
+			s.mu.Unlock()
+		}
+		p.MarkIdle()
+	}
+	p.SetAvailable(false)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ch, ok := s.feeds[id]; ok {
+		close(ch)
+		delete(s.feeds, id)
+	}
+	return nil
+}
+
+// Submit places a task into the system.
+func (s *Server) Submit(t taskq.Task) error {
+	if err := s.tasks.Submit(t); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.stats.Received++
+	s.mu.Unlock()
+	return nil
+}
+
+// Complete records a worker's answer for a task it holds. The execution
+// time feeds the worker's power-law model immediately; the accuracy update
+// waits for requester Feedback.
+func (s *Server) Complete(taskID, workerID, answer string) (Result, error) {
+	rec, ok := s.tasks.Get(taskID)
+	if !ok {
+		return Result{}, fmt.Errorf("%w: %q", taskq.ErrUnknownTask, taskID)
+	}
+	if rec.Status != taskq.Assigned || rec.Worker != workerID {
+		return Result{}, fmt.Errorf("%w: task %q held by %q", ErrNotAssigned, taskID, rec.Worker)
+	}
+	final, err := s.tasks.Complete(taskID)
+	if err != nil {
+		return Result{}, err
+	}
+	if p, ok := s.workers.Get(workerID); ok {
+		p.RecordExecTime(final.ExecTime().Seconds())
+		if p.CurrentTask() == taskID {
+			p.MarkIdle()
+		}
+	}
+	res := Result{
+		TaskID:      taskID,
+		WorkerID:    workerID,
+		Answer:      answer,
+		FinishedAt:  final.FinishedAt,
+		MetDeadline: final.MetDeadline(),
+	}
+	s.mu.Lock()
+	s.stats.Completed++
+	if res.MetDeadline {
+		s.stats.OnTime++
+	}
+	s.mu.Unlock()
+	if s.opts.OnResult != nil {
+		s.opts.OnResult(res)
+	}
+	return res, nil
+}
+
+// Feedback records the requester's verdict on a completed task, updating
+// the worker's per-category accuracy (Eq. 1 numerator/denominator). A task
+// can be graded once; repeats are rejected so accuracy counters cannot be
+// inflated.
+func (s *Server) Feedback(taskID string, positive bool) error {
+	rec, ok := s.tasks.Get(taskID)
+	if !ok {
+		return fmt.Errorf("%w: %q", taskq.ErrUnknownTask, taskID)
+	}
+	if err := s.tasks.MarkGraded(taskID); err != nil {
+		return err
+	}
+	if p, ok := s.workers.Get(rec.Worker); ok {
+		p.RecordFeedback(rec.Task.Category, positive)
+	}
+	return nil
+}
+
+// Stats snapshots the counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.WorkersOnline = s.workers.Size()
+	return st
+}
+
+// SaveProfiles persists the profiling component (worker histories, models,
+// reward ranges) so a restarted server keeps its learned state rather than
+// re-training every worker through z tasks.
+func (s *Server) SaveProfiles(w io.Writer) error {
+	return s.workers.WriteSnapshot(w)
+}
+
+// LoadProfiles restores a previously saved profiling component. Restored
+// workers appear offline until they reconnect (RegisterWorker reuses their
+// history only through a fresh registry entry, so loading must precede
+// traffic; a loaded worker that re-registers by id is rejected as a
+// duplicate — deployments reconnect workers via ReconnectWorker).
+func (s *Server) LoadProfiles(r io.Reader) (int, error) {
+	return s.workers.ReadSnapshot(r)
+}
+
+// ReconnectWorker re-attaches a worker restored by LoadProfiles: it marks
+// the profile available again and opens a fresh assignment feed. Unknown
+// workers fall back to plain registration semantics via RegisterWorker.
+func (s *Server) ReconnectWorker(id string) (<-chan Assignment, error) {
+	p, ok := s.workers.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", profile.ErrUnknownWorker, id)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrStopped
+	}
+	if _, exists := s.feeds[id]; exists {
+		return nil, fmt.Errorf("core: worker %q already connected", id)
+	}
+	p.SetAvailable(true)
+	ch := make(chan Assignment, s.opts.QueueDepth)
+	s.feeds[id] = ch
+	return ch, nil
+}
+
+// batchLoop polls the trigger, runs matching batches, applies assignments,
+// and expires overdue unassigned tasks.
+func (s *Server) batchLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.opts.BatchPoll)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+		}
+		now := s.opts.Clock.Now()
+		if s.opts.Retention > 0 {
+			s.tasks.ForgetTerminatedBefore(now.Add(-s.opts.Retention))
+		}
+		for _, rec := range s.tasks.ExpireUnassigned() {
+			s.mu.Lock()
+			s.stats.Expired++
+			s.mu.Unlock()
+			if s.opts.OnResult != nil {
+				s.opts.OnResult(Result{
+					TaskID: rec.Task.ID, FinishedAt: rec.FinishedAt, Expired: true,
+				})
+			}
+		}
+		s.mu.Lock()
+		due := s.trigger.Due(s.tasks.UnassignedCount(), now)
+		s.mu.Unlock()
+		if !due {
+			continue
+		}
+		s.runBatch(now)
+	}
+}
+
+func (s *Server) runBatch(now time.Time) {
+	avail := s.workers.Available()
+	unassigned := s.tasks.Unassigned()
+	if len(avail) == 0 || len(unassigned) == 0 {
+		return
+	}
+	batch, err := schedule.Run(s.opts.Schedule, s.opts.Matcher, avail, unassigned, now)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	s.trigger.Ran(now)
+	s.stats.Batches++
+	s.stats.MatcherTime += batch.Elapsed
+	s.mu.Unlock()
+
+	byID := make(map[string]taskq.Task, len(unassigned))
+	for _, t := range unassigned {
+		byID[t.ID] = t
+	}
+	for taskID, workerID := range batch.Assignments {
+		p, ok := s.workers.Get(workerID)
+		if !ok || !p.Available() {
+			continue
+		}
+		if err := s.tasks.Assign(taskID, workerID); err != nil {
+			continue
+		}
+		task := byID[taskID]
+		a := Assignment{
+			TaskID:      taskID,
+			WorkerID:    workerID,
+			Category:    task.Category,
+			Description: task.Description,
+			Location:    task.Location,
+			Deadline:    task.Deadline,
+			Reward:      task.Reward,
+		}
+		// Mark busy BEFORE the assignment becomes visible on the feed: a
+		// fast worker may Complete the task (and clear the busy mark)
+		// before this goroutine resumes, and marking busy afterwards would
+		// wedge the worker permanently.
+		p.MarkBusy(taskID)
+		s.mu.Lock()
+		feed := s.feeds[workerID]
+		s.mu.Unlock()
+		delivered := false
+		if feed != nil {
+			select {
+			case feed <- a:
+				delivered = true
+			default:
+				// Worker not draining its feed: revoke rather than let the
+				// task rot in a channel.
+			}
+		}
+		if !delivered {
+			s.tasks.Unassign(taskID)
+			if p.CurrentTask() == taskID {
+				p.MarkIdle()
+			}
+			continue
+		}
+		s.mu.Lock()
+		s.stats.Assigned++
+		s.mu.Unlock()
+	}
+}
+
+// monitorLoop runs the Eq. 2 sweep.
+func (s *Server) monitorLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.opts.MonitorPeriod)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+		}
+		now := s.opts.Clock.Now()
+		for _, d := range s.opts.Monitor.Sweep(s.workers, s.tasks, now) {
+			if !d.Reassign {
+				continue
+			}
+			if err := s.tasks.Unassign(d.TaskID); err != nil {
+				continue
+			}
+			if p, ok := s.workers.Get(d.Worker); ok && p.CurrentTask() == d.TaskID {
+				p.MarkIdle()
+			}
+			s.mu.Lock()
+			s.stats.Reassigned++
+			s.mu.Unlock()
+			if s.opts.OnReassign != nil {
+				s.opts.OnReassign(d.TaskID, d.Worker, d.Probability)
+			}
+		}
+	}
+}

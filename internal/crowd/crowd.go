@@ -1,0 +1,226 @@
+// Package crowd models human workers the way §V.C of the paper does after
+// its CrowdFlower case study. Each simulated worker draws a base completion
+// time from a personal [min, max] band inside 1–20 s (the time the study
+// found sufficient for the traffic-estimation task), but with 50 %
+// probability delays or abandons the task, stretching completion up to
+// 130 s. Feedback quality is a personal probability, distributed so that
+// 70 % of workers exceed 0.5 — the trust distribution the study measured.
+//
+// The package also synthesizes the case study itself: a response-time and
+// trust dataset with the published marginals (half the answers inside 20 s,
+// a heavy tail reaching hours), from which the experiment configuration
+// derives its 60–120 s deadlines. This replaces the live CrowdFlower
+// deployment that cannot be reproduced offline.
+package crowd
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"react/internal/powerlaw"
+)
+
+// Paper-calibrated population constants (§V.C).
+const (
+	BaseExecMin = 1 * time.Second   // fastest any worker's band may start
+	BaseExecMax = 20 * time.Second  // slowest base completion
+	MaxDelayed  = 130 * time.Second // worst case when delaying/abandoning
+	// DelayedFloor is where the delayed band starts. The case study saw
+	// non-prompt workers take minutes to hours — far beyond any 60–120 s
+	// deadline — so a delaying worker should essentially always miss; the
+	// [DelayedFloor, MaxDelayed] band encodes that while keeping the
+	// simulated tail bounded (an abandoned task must still terminate).
+	DelayedFloor = 100 * time.Second
+	DelayProb    = 0.5              // chance a worker delays a given task
+	GoodQuality  = 0.70             // fraction of workers with quality > 0.5
+	DeadlineMin  = 60 * time.Second // deadline band derived from the study
+	DeadlineMax  = 120 * time.Second
+	StudyTailMax = 6 * time.Hour // longest response observed on CrowdFlower
+)
+
+// Behavior is one worker's generative model.
+type Behavior struct {
+	MinExec   time.Duration // personal base band lower edge
+	MaxExec   time.Duration // personal base band upper edge (exclusive-ish)
+	DelayProb float64       // probability of delaying/abandoning a task
+	DelayMin  time.Duration // delayed band lower edge (0 ⇒ starts at MaxExec)
+	MaxDelay  time.Duration // upper bound of the delayed completion time
+	Quality   float64       // probability a timely answer earns positive feedback
+}
+
+// Validate reports the first configuration problem.
+func (b Behavior) Validate() error {
+	if b.MinExec <= 0 || b.MaxExec < b.MinExec {
+		return fmt.Errorf("crowd: bad exec band [%v, %v]", b.MinExec, b.MaxExec)
+	}
+	if b.DelayProb < 0 || b.DelayProb > 1 {
+		return fmt.Errorf("crowd: delay probability %v out of [0,1]", b.DelayProb)
+	}
+	if b.MaxDelay < b.MaxExec {
+		return fmt.Errorf("crowd: max delay %v below exec band top %v", b.MaxDelay, b.MaxExec)
+	}
+	if b.DelayMin > 0 && b.MaxDelay < b.DelayMin {
+		return fmt.Errorf("crowd: max delay %v below delayed band floor %v", b.MaxDelay, b.DelayMin)
+	}
+	if b.Quality < 0 || b.Quality > 1 {
+		return fmt.Errorf("crowd: quality %v out of [0,1]", b.Quality)
+	}
+	return nil
+}
+
+// ExecTime draws the completion time for one task: uniform in the worker's
+// base band, or — with probability DelayProb — uniform in the delayed band
+// (MaxExec, MaxDelay].
+func (b Behavior) ExecTime(rng *rand.Rand) time.Duration {
+	if rng.Float64() < b.DelayProb {
+		floor := b.DelayMin
+		if floor < b.MaxExec {
+			floor = b.MaxExec
+		}
+		span := b.MaxDelay - floor
+		if span <= 0 {
+			return b.MaxDelay
+		}
+		return floor + time.Duration(rng.Int63n(int64(span)+1))
+	}
+	span := b.MaxExec - b.MinExec
+	if span <= 0 {
+		return b.MinExec
+	}
+	return b.MinExec + time.Duration(rng.Int63n(int64(span)+1))
+}
+
+// PositiveFeedback draws the requester's verdict: §V.C makes feedback
+// "positive only if the task finished before the deadline, with a
+// probability that is defined from the worker's unique feedback percentage".
+func (b Behavior) PositiveFeedback(rng *rand.Rand, metDeadline bool) bool {
+	return metDeadline && rng.Float64() < b.Quality
+}
+
+// NewPopulation draws n workers with the paper's marginals: personal
+// [min, max] bands inside [BaseExecMin, BaseExecMax], DelayProb of 0.5 with
+// delays up to MaxDelayed, and quality with GoodQuality of the population
+// above 0.5.
+func NewPopulation(n int, rng *rand.Rand) []Behavior {
+	out := make([]Behavior, n)
+	for i := range out {
+		out[i] = newWorker(rng)
+	}
+	return out
+}
+
+func newWorker(rng *rand.Rand) Behavior {
+	span := float64(BaseExecMax - BaseExecMin)
+	a := time.Duration(rng.Float64() * span)
+	b := time.Duration(rng.Float64() * span)
+	if a > b {
+		a, b = b, a
+	}
+	if b-a < time.Second {
+		b = a + time.Second // keep the band non-degenerate
+	}
+	var quality float64
+	if rng.Float64() < GoodQuality {
+		quality = 0.5 + rng.Float64()*0.5
+	} else {
+		quality = rng.Float64() * 0.5
+	}
+	return Behavior{
+		MinExec:   BaseExecMin + a,
+		MaxExec:   BaseExecMin + b,
+		DelayProb: DelayProb,
+		DelayMin:  DelayedFloor,
+		MaxDelay:  MaxDelayed,
+		Quality:   quality,
+	}
+}
+
+// Sample is one synthetic case-study observation: how long a CrowdFlower
+// worker took to answer the traffic question, and the platform's trust
+// score for them.
+type Sample struct {
+	Response time.Duration
+	Trust    float64
+}
+
+// StudyReport summarizes a synthesized case study the way §V.C reports the
+// real one.
+type StudyReport struct {
+	N                  int
+	MedianResponse     time.Duration
+	FracUnder20s       float64
+	FracTrustAbove50   float64
+	MaxResponse        time.Duration
+	SuggestedDeadlines [2]time.Duration // the 60–120 s band the paper derives
+}
+
+// SynthesizeStudy generates n observations with the published marginals:
+// half the responses arrive within the 20 s proposed time (uniform 2–20 s);
+// the rest follow a power-law tail from 20 s that can reach hours ("the
+// remaining tasks could take up to 6 hours"). Trust is distributed with 70 %
+// of workers above 0.5.
+func SynthesizeStudy(n int, rng *rand.Rand) ([]Sample, StudyReport) {
+	samples := make([]Sample, n)
+	// Tail exponent chosen so the observed maximum at the study's scale is
+	// on the order of hours: P(X > 6h | tail) = (21600/20)^(1-α).
+	tail, err := powerlaw.New(2.0, 20)
+	if err != nil {
+		panic(err) // constants are valid
+	}
+	under := 0
+	trusted := 0
+	var max time.Duration
+	for i := range samples {
+		var resp time.Duration
+		if rng.Float64() < 0.5 {
+			resp = time.Duration(2+rng.Float64()*18) * time.Second
+		} else {
+			secs := tail.Sample(rng)
+			if limit := StudyTailMax.Seconds(); secs > limit {
+				secs = limit
+			}
+			resp = time.Duration(secs * float64(time.Second))
+		}
+		var trust float64
+		if rng.Float64() < GoodQuality {
+			trust = 0.5 + rng.Float64()*0.5
+		} else {
+			trust = rng.Float64() * 0.5
+		}
+		samples[i] = Sample{Response: resp, Trust: trust}
+		if resp < 20*time.Second {
+			under++
+		}
+		if trust > 0.5 {
+			trusted++
+		}
+		if resp > max {
+			max = resp
+		}
+	}
+	report := StudyReport{
+		N:                  n,
+		MedianResponse:     medianResponse(samples),
+		MaxResponse:        max,
+		SuggestedDeadlines: [2]time.Duration{DeadlineMin, DeadlineMax},
+	}
+	if n > 0 {
+		report.FracUnder20s = float64(under) / float64(n)
+		report.FracTrustAbove50 = float64(trusted) / float64(n)
+	}
+	return samples, report
+}
+
+func medianResponse(samples []Sample) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	resp := make([]time.Duration, len(samples))
+	for i, s := range samples {
+		resp[i] = s.Response
+	}
+	sort.Slice(resp, func(i, j int) bool { return resp[i] < resp[j] })
+	return resp[len(resp)/2]
+}

@@ -1,0 +1,194 @@
+package crowd
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestBehaviorValidate(t *testing.T) {
+	good := Behavior{MinExec: time.Second, MaxExec: 10 * time.Second,
+		DelayProb: 0.5, MaxDelay: 130 * time.Second, Quality: 0.8}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []Behavior{
+		{MinExec: 0, MaxExec: 10 * time.Second, MaxDelay: time.Minute},
+		{MinExec: 10 * time.Second, MaxExec: time.Second, MaxDelay: time.Minute},
+		{MinExec: time.Second, MaxExec: 10 * time.Second, DelayProb: 1.5, MaxDelay: time.Minute},
+		{MinExec: time.Second, MaxExec: 10 * time.Second, MaxDelay: time.Second},
+		{MinExec: time.Second, MaxExec: 10 * time.Second, MaxDelay: time.Minute, Quality: -0.1},
+	}
+	for i, b := range cases {
+		if err := b.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, b)
+		}
+	}
+}
+
+func TestExecTimeBands(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := Behavior{MinExec: 5 * time.Second, MaxExec: 10 * time.Second,
+		DelayProb: 0.5, MaxDelay: 130 * time.Second, Quality: 0.8}
+	base, delayed := 0, 0
+	for i := 0; i < 20000; i++ {
+		d := b.ExecTime(rng)
+		switch {
+		case d >= 5*time.Second && d <= 10*time.Second:
+			base++
+		case d > 10*time.Second && d <= 130*time.Second:
+			delayed++
+		default:
+			t.Fatalf("ExecTime %v outside both bands", d)
+		}
+	}
+	frac := float64(delayed) / 20000
+	if frac < 0.47 || frac > 0.53 {
+		t.Fatalf("delayed fraction = %v, want ≈0.5", frac)
+	}
+}
+
+func TestExecTimeNeverDelays(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	b := Behavior{MinExec: 2 * time.Second, MaxExec: 4 * time.Second,
+		DelayProb: 0, MaxDelay: 130 * time.Second}
+	for i := 0; i < 1000; i++ {
+		if d := b.ExecTime(rng); d < 2*time.Second || d > 4*time.Second {
+			t.Fatalf("no-delay worker produced %v", d)
+		}
+	}
+}
+
+func TestExecTimeDegenerateBands(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b := Behavior{MinExec: 5 * time.Second, MaxExec: 5 * time.Second,
+		DelayProb: 1, MaxDelay: 5 * time.Second}
+	if d := b.ExecTime(rng); d != 5*time.Second {
+		t.Fatalf("degenerate delayed band gave %v", d)
+	}
+	b.DelayProb = 0
+	if d := b.ExecTime(rng); d != 5*time.Second {
+		t.Fatalf("degenerate base band gave %v", d)
+	}
+}
+
+func TestPositiveFeedback(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	b := Behavior{Quality: 0.8}
+	// Missed deadline ⇒ never positive.
+	for i := 0; i < 100; i++ {
+		if b.PositiveFeedback(rng, false) {
+			t.Fatal("positive feedback despite missed deadline")
+		}
+	}
+	// Met deadline ⇒ positive at ≈ Quality rate.
+	pos := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if b.PositiveFeedback(rng, true) {
+			pos++
+		}
+	}
+	if frac := float64(pos) / n; frac < 0.77 || frac > 0.83 {
+		t.Fatalf("positive fraction = %v, want ≈0.8", frac)
+	}
+}
+
+func TestNewPopulationMarginals(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pop := NewPopulation(5000, rng)
+	if len(pop) != 5000 {
+		t.Fatalf("population size %d", len(pop))
+	}
+	goodQ := 0
+	for i, b := range pop {
+		if err := b.Validate(); err != nil {
+			t.Fatalf("worker %d invalid: %v", i, err)
+		}
+		if b.MinExec < BaseExecMin || b.MaxExec > BaseExecMax+time.Second {
+			t.Fatalf("worker %d band [%v,%v] outside spec", i, b.MinExec, b.MaxExec)
+		}
+		if b.DelayProb != DelayProb || b.MaxDelay != MaxDelayed {
+			t.Fatalf("worker %d delay model %v/%v", i, b.DelayProb, b.MaxDelay)
+		}
+		if b.Quality > 0.5 {
+			goodQ++
+		}
+	}
+	frac := float64(goodQ) / float64(len(pop))
+	if frac < 0.67 || frac > 0.73 {
+		t.Fatalf("quality>0.5 fraction = %v, want ≈0.7 (§V.C)", frac)
+	}
+}
+
+func TestSynthesizeStudyMarginals(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	samples, report := SynthesizeStudy(20000, rng)
+	if len(samples) != 20000 || report.N != 20000 {
+		t.Fatalf("n = %d/%d", len(samples), report.N)
+	}
+	// Published marginals: ~50% under 20s, ~70% trust above 0.5.
+	if report.FracUnder20s < 0.46 || report.FracUnder20s > 0.54 {
+		t.Fatalf("FracUnder20s = %v", report.FracUnder20s)
+	}
+	if report.FracTrustAbove50 < 0.67 || report.FracTrustAbove50 > 0.73 {
+		t.Fatalf("FracTrustAbove50 = %v", report.FracTrustAbove50)
+	}
+	// Median response at or under the 20s proposed time.
+	if report.MedianResponse > 21*time.Second {
+		t.Fatalf("MedianResponse = %v", report.MedianResponse)
+	}
+	// A heavy tail exists but is capped at the 6h observation.
+	if report.MaxResponse <= time.Minute || report.MaxResponse > StudyTailMax {
+		t.Fatalf("MaxResponse = %v", report.MaxResponse)
+	}
+	if report.SuggestedDeadlines != [2]time.Duration{DeadlineMin, DeadlineMax} {
+		t.Fatalf("SuggestedDeadlines = %v", report.SuggestedDeadlines)
+	}
+}
+
+func TestSynthesizeStudyEmpty(t *testing.T) {
+	_, report := SynthesizeStudy(0, rand.New(rand.NewSource(7)))
+	if report.MedianResponse != 0 || report.N != 0 {
+		t.Fatalf("empty study report = %+v", report)
+	}
+}
+
+func TestPopulationDeterministicPerSeed(t *testing.T) {
+	a := NewPopulation(100, rand.New(rand.NewSource(42)))
+	b := NewPopulation(100, rand.New(rand.NewSource(42)))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("population diverged at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestExecTimeDelayedFloor(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	b := Behavior{MinExec: 2 * time.Second, MaxExec: 10 * time.Second,
+		DelayProb: 1, DelayMin: 100 * time.Second, MaxDelay: 130 * time.Second}
+	for i := 0; i < 2000; i++ {
+		d := b.ExecTime(rng)
+		if d < 100*time.Second || d > 130*time.Second {
+			t.Fatalf("delayed exec %v outside [100s,130s]", d)
+		}
+	}
+}
+
+func TestValidateRejectsFloorAboveMaxDelay(t *testing.T) {
+	b := Behavior{MinExec: time.Second, MaxExec: 5 * time.Second,
+		DelayMin: 200 * time.Second, MaxDelay: 130 * time.Second}
+	if err := b.Validate(); err == nil {
+		t.Fatal("floor above max delay accepted")
+	}
+}
+
+func TestPopulationUsesDelayedFloor(t *testing.T) {
+	pop := NewPopulation(10, rand.New(rand.NewSource(9)))
+	for _, b := range pop {
+		if b.DelayMin != DelayedFloor {
+			t.Fatalf("DelayMin = %v, want %v", b.DelayMin, DelayedFloor)
+		}
+	}
+}

@@ -1,0 +1,396 @@
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"time"
+
+	"react/internal/crowd"
+	"react/internal/dynassign"
+	"react/internal/metrics"
+	"react/internal/profile"
+	"react/internal/region"
+	"react/internal/schedule"
+	"react/internal/sim"
+	"react/internal/taskq"
+	"react/internal/trace"
+	"react/internal/workload"
+)
+
+// newRand derives a deterministic RNG from a seed and a label, mirroring
+// sim.Engine.Rand for components constructed before the engine exists.
+func newRand(seed int64, label string) *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprint(h, label)
+	return rand.New(rand.NewSource(seed ^ int64(h.Sum64())))
+}
+
+// ScenarioConfig describes one end-to-end run of §V.C: a single region
+// server, a worker population, and a task stream. Zero fields are filled by
+// Normalize with the paper's main-experiment settings (750 workers,
+// 9.375 tasks/s, 8371 tasks, batch bound 10, monitor threshold 0.1, 1000
+// REACT cycles).
+type ScenarioConfig struct {
+	Technique     Technique
+	Workers       int
+	Rate          float64 // tasks per second
+	TargetTasks   int     // submissions before the stream stops
+	Seed          int64
+	BatchBound    int
+	BatchPeriod   time.Duration
+	MonitorPeriod time.Duration
+	DrainGrace    time.Duration // extra virtual time for stragglers after the last arrival
+	Area          region.Rect
+	// Trace, when non-nil, records every task lifecycle event for offline
+	// analysis (queue waits, reassignment chains, loss phases).
+	Trace *trace.Recorder
+	// DeadlineMin/Max override the task deadline band (zero: the paper's
+	// 60-120 s derived from the case study). Used by the sensitivity sweep.
+	DeadlineMin time.Duration
+	DeadlineMax time.Duration
+	// MonitorThreshold overrides the Eq. 2 reassignment bound (zero: the
+	// paper's 0.1).
+	MonitorThreshold float64
+	// Churn enables worker connectivity cycles (§I: "even the most
+	// reliable workers may have short connectivity cycles"): each worker
+	// alternates online periods with mean Churn and offline periods with
+	// mean Churn/4, exponentially distributed. Zero keeps every worker
+	// online for the whole run (the paper's setup).
+	Churn time.Duration
+}
+
+// Normalize fills defaults.
+func (c ScenarioConfig) Normalize() ScenarioConfig {
+	if c.Workers <= 0 {
+		c.Workers = 750
+	}
+	if c.Rate <= 0 {
+		c.Rate = 9.375
+	}
+	if c.TargetTasks <= 0 {
+		c.TargetTasks = 8371
+	}
+	if c.BatchBound <= 0 {
+		c.BatchBound = 10
+	}
+	if c.BatchPeriod <= 0 {
+		c.BatchPeriod = 5 * time.Second
+	}
+	if c.MonitorPeriod <= 0 {
+		c.MonitorPeriod = time.Second
+	}
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = 5 * time.Minute
+	}
+	if !c.Area.Valid() {
+		c.Area = region.Rect{MinLat: 37.8, MinLon: 23.5, MaxLat: 38.2, MaxLon: 24.0}
+	}
+	if c.Technique.Matcher == nil {
+		c.Technique = REACTTechnique(0, c.Seed)
+	}
+	return c
+}
+
+// ScenarioResult aggregates everything Figures 5–8 report for one
+// technique.
+type ScenarioResult struct {
+	Technique string
+	Workers   int
+	Rate      float64
+
+	Received        int // tasks submitted
+	CompletedOnTime int // finished at or before their deadline (Fig. 5)
+	CompletedLate   int // finished after the deadline (counted as missed)
+	Expired         int // left the repository unassigned
+	Positive        int // positive feedbacks (Fig. 6)
+	Reassignments   int // Eq. 2 monitor interventions
+	Batches         int // matching rounds executed
+
+	MeanWorkerExec float64 // seconds, final worker only (Fig. 7)
+	MeanTotalExec  float64 // seconds, submission → completion (Fig. 8)
+	MatcherBusy    float64 // total modelled matcher seconds
+	MeanAttempts   float64 // assignments per completed task (1 = never reassigned)
+	MaxAttempts    int     // worst-case bouncing
+	WorkerExecP50  float64 // median final-worker execution seconds
+	WorkerExecP95  float64 // tail final-worker execution seconds
+
+	OnTimeSeries   *metrics.Series // (received, cumulative on-time) — Fig. 5
+	PositiveSeries *metrics.Series // (received, cumulative positive) — Fig. 6
+}
+
+// OnTimeFraction is CompletedOnTime / Received.
+func (r ScenarioResult) OnTimeFraction() float64 {
+	if r.Received == 0 {
+		return 0
+	}
+	return float64(r.CompletedOnTime) / float64(r.Received)
+}
+
+// PositiveFraction is Positive / Received.
+func (r ScenarioResult) PositiveFraction() float64 {
+	if r.Received == 0 {
+		return 0
+	}
+	return float64(r.Positive) / float64(r.Received)
+}
+
+// RunScenario executes one end-to-end simulation and returns its metrics.
+func RunScenario(cfg ScenarioConfig) ScenarioResult {
+	cfg = cfg.Normalize()
+	eng := sim.New(cfg.Seed)
+	reg := profile.NewRegistry()
+	tm := taskq.NewManager(eng.Clock())
+
+	// Population: behaviours drawn from the case-study marginals, locations
+	// uniform in the region.
+	behaviors := make(map[string]crowd.Behavior, cfg.Workers)
+	locRng := eng.Rand("locations")
+	for i, b := range crowd.NewPopulation(cfg.Workers, eng.Rand("population")) {
+		id := fmt.Sprintf("w%04d", i)
+		behaviors[id] = b
+		if _, err := reg.Register(id, cfg.Area.RandomPoint(locRng)); err != nil {
+			panic(err) // ids are unique by construction
+		}
+	}
+
+	scfg := cfg.Technique.ScheduleConfig(cfg.BatchBound, cfg.BatchPeriod)
+	trigger := schedule.NewTrigger(scfg, eng.Now())
+	monitor := dynassign.Monitor{Threshold: cfg.MonitorThreshold}
+	execRng := eng.Rand("exec")
+	fbRng := eng.Rand("feedback")
+
+	gen := workload.Generator{
+		Prefix:      "task",
+		Area:        cfg.Area,
+		DeadlineMin: cfg.DeadlineMin,
+		DeadlineMax: cfg.DeadlineMax,
+	}
+	stream := workload.NewStream(gen, workload.Constant{Rate: cfg.Rate}, eng.Now(), eng.Rand("workload"))
+
+	res := ScenarioResult{
+		Technique:      cfg.Technique.Name,
+		Workers:        cfg.Workers,
+		Rate:           cfg.Rate,
+		OnTimeSeries:   metrics.NewSeries(cfg.Technique.Name + "-ontime"),
+		PositiveSeries: metrics.NewSeries(cfg.Technique.Name + "-positive"),
+	}
+	var workerExec, totalExec, attempts metrics.Welford
+	execHist, _ := metrics.NewHistogram(1, 400) // 1s buckets to 400s
+	batchRunning := false
+	record := func(e trace.Event) {
+		if cfg.Trace != nil {
+			cfg.Trace.Record(e)
+		}
+	}
+
+	var tryBatch func(now time.Time)
+
+	// completeTask fires when a worker finishes; stale events (task
+	// reassigned, completed by someone else, or expired) are recognised by
+	// the assignment timestamp and ignored.
+	completeTask := func(workerID, taskID string, assignedAt time.Time, exec time.Duration) sim.Handler {
+		return func(now time.Time) {
+			p, okW := reg.Get(workerID)
+			rec, okT := tm.Get(taskID)
+			current := okT && rec.Status == taskq.Assigned &&
+				rec.Worker == workerID && rec.AssignedAt.Equal(assignedAt)
+			if current {
+				final, err := tm.Complete(taskID)
+				if err == nil {
+					met := final.MetDeadline()
+					pos := behaviors[workerID].PositiveFeedback(fbRng, met)
+					if okW {
+						p.RecordCompletion(final.Task.Category, exec.Seconds(), pos)
+					}
+					if met {
+						res.CompletedOnTime++
+					} else {
+						res.CompletedLate++
+					}
+					if pos {
+						res.Positive++
+					}
+					workerExec.Observe(final.ExecTime().Seconds())
+					execHist.Observe(final.ExecTime().Seconds())
+					totalExec.Observe(final.TotalTime().Seconds())
+					attempts.Observe(float64(final.Attempts))
+					if final.Attempts > res.MaxAttempts {
+						res.MaxAttempts = final.Attempts
+					}
+					res.OnTimeSeries.Add(float64(res.Received), float64(res.CompletedOnTime))
+					res.PositiveSeries.Add(float64(res.Received), float64(res.Positive))
+					record(trace.Event{Task: taskID, Kind: trace.Completed, At: now, Worker: workerID, Late: !met})
+				}
+			}
+			if okW && p.CurrentTask() == taskID {
+				p.MarkIdle()
+			}
+			tryBatch(now)
+		}
+	}
+
+	applyAssignments := func(assignments map[string]string, now time.Time) {
+		// Sorted order keeps the exec RNG stream — and with it the whole
+		// run — deterministic; map iteration order would not be.
+		taskIDs := make([]string, 0, len(assignments))
+		for taskID := range assignments {
+			taskIDs = append(taskIDs, taskID)
+		}
+		sort.Strings(taskIDs)
+		for _, taskID := range taskIDs {
+			workerID := assignments[taskID]
+			rec, ok := tm.Get(taskID)
+			if !ok || rec.Status != taskq.Unassigned {
+				continue // expired while the matcher ran
+			}
+			p, ok := reg.Get(workerID)
+			if !ok || !p.Available() {
+				continue
+			}
+			if err := tm.Assign(taskID, workerID); err != nil {
+				continue
+			}
+			record(trace.Event{Task: taskID, Kind: trace.Assigned, At: now, Worker: workerID})
+			p.MarkBusy(taskID)
+			exec := behaviors[workerID].ExecTime(execRng)
+			rec, _ = tm.Get(taskID)
+			eng.After(exec, "complete", completeTask(workerID, taskID, rec.AssignedAt, exec))
+		}
+	}
+
+	tryBatch = func(now time.Time) {
+		if batchRunning {
+			return
+		}
+		unassigned := tm.UnassignedCount()
+		if !trigger.Due(unassigned, now) {
+			return
+		}
+		avail := reg.Available()
+		tasks := tm.Unassigned()
+		if len(avail) == 0 || len(tasks) == 0 {
+			return
+		}
+		batch, err := schedule.Run(scfg, cfg.Technique.Matcher, avail, tasks, now)
+		if err != nil {
+			return // construction bug; skip the round rather than wedge the run
+		}
+		trigger.Ran(now)
+		res.Batches++
+		latency := cfg.Technique.Cost(len(tasks), len(avail), batch.Build.Edges, batch.Match.Cycles)
+		res.MatcherBusy += latency.Seconds()
+		batchRunning = true
+		eng.After(latency, "batch-apply", func(apply time.Time) {
+			applyAssignments(batch.Assignments, apply)
+			batchRunning = false
+			tryBatch(apply)
+		})
+	}
+
+	// Arrival pump: one event per task so the trigger sees every arrival.
+	var arrive sim.Handler
+	arrive = func(now time.Time) {
+		task := stream.Take()
+		if err := tm.Submit(task); err == nil {
+			res.Received++
+			record(trace.Event{Task: task.ID, Kind: trace.Submitted, At: now})
+		}
+		if res.Received < cfg.TargetTasks {
+			eng.Schedule(stream.Peek(), "arrival", arrive)
+		}
+		tryBatch(now)
+	}
+	eng.Schedule(stream.Peek(), "arrival", arrive)
+
+	// Expiry sweep: unassigned tasks leave the repository at their deadline.
+	stopExpiry := eng.Every(time.Second, "expire", func(now time.Time) {
+		for _, rec := range tm.ExpireUnassigned() {
+			res.Expired++
+			record(trace.Event{Task: rec.Task.ID, Kind: trace.Expired, At: now})
+		}
+	})
+
+	// Eq. 2 monitor: reassign doomed tasks; the abandoning worker returns
+	// to the pool (they were not really working).
+	stopMonitor := func() {}
+	if cfg.Technique.UseMonitor {
+		stopMonitor = eng.Every(cfg.MonitorPeriod, "monitor", func(now time.Time) {
+			for _, d := range monitor.Sweep(reg, tm, now) {
+				if !d.Reassign {
+					continue
+				}
+				if err := tm.Unassign(d.TaskID); err != nil {
+					continue
+				}
+				record(trace.Event{Task: d.TaskID, Kind: trace.Revoked, At: now, Worker: d.Worker})
+				res.Reassignments++
+				if p, ok := reg.Get(d.Worker); ok && p.CurrentTask() == d.TaskID {
+					p.MarkIdle()
+				}
+			}
+			tryBatch(now)
+		})
+	}
+
+	// Connectivity churn: workers drop offline and return, independent of
+	// any task they hold (a held task completes normally; the worker just
+	// receives no new work while offline).
+	if cfg.Churn > 0 {
+		churnRng := eng.Rand("churn")
+		for _, p := range reg.All() {
+			p := p
+			var toggle func(online bool) sim.Handler
+			toggle = func(online bool) sim.Handler {
+				return func(now time.Time) {
+					p.SetAvailable(online)
+					if online {
+						tryBatch(now)
+					}
+					// The period that starts now determines the next
+					// toggle: online periods have mean Churn, offline
+					// periods mean Churn/4.
+					mean := cfg.Churn.Seconds()
+					if !online {
+						mean /= 4
+					}
+					gap := time.Duration(churnRng.ExpFloat64() * mean * float64(time.Second))
+					eng.After(gap, "churn", toggle(!online))
+				}
+			}
+			first := time.Duration(churnRng.ExpFloat64() * cfg.Churn.Seconds() * float64(time.Second))
+			eng.After(first, "churn", toggle(false))
+		}
+	}
+
+	// Period flush so sub-bound backlogs are not starved.
+	stopFlush := eng.Every(cfg.BatchPeriod, "flush", tryBatch)
+
+	// Run until every submitted task is terminal or the grace window ends.
+	arrivalSpan := time.Duration(float64(cfg.TargetTasks)/cfg.Rate*float64(time.Second)) + time.Second
+	deadline := eng.Now().Add(arrivalSpan + cfg.DrainGrace)
+	for eng.Now().Before(deadline) {
+		eng.RunFor(10 * time.Second)
+		_, _, completed, expired := tm.Counts()
+		if res.Received >= cfg.TargetTasks && completed+expired == res.Received {
+			break
+		}
+	}
+	stopExpiry()
+	stopMonitor()
+	stopFlush()
+
+	// Anything still live at the cap is a missed task.
+	for _, rec := range tm.ExpireDue() {
+		res.Expired++
+		record(trace.Event{Task: rec.Task.ID, Kind: trace.Expired, At: eng.Now()})
+	}
+
+	res.MeanWorkerExec = workerExec.Mean()
+	res.MeanTotalExec = totalExec.Mean()
+	res.MeanAttempts = attempts.Mean()
+	res.WorkerExecP50 = execHist.Quantile(0.5)
+	res.WorkerExecP95 = execHist.Quantile(0.95)
+	return res
+}

@@ -1,0 +1,193 @@
+// Package loadgen drives a live (TCP) REACT region server with a synthetic
+// crowd and a task stream — the wall-clock counterpart of the deterministic
+// harness in internal/experiments. It exists to exercise the deployed
+// middleware end-to-end: real connections, real goroutine workers with the
+// §V.C behaviour model, real deadlines. Because the experiments' 60–120 s
+// deadlines would make each run minutes long, every duration is compressed
+// by a configurable factor (default 100×: deadlines become 0.6–1.2 s,
+// completions 10–200 ms), which preserves all the ratios the scheduler
+// reasons about.
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"react/internal/crowd"
+	"react/internal/wire"
+	"react/internal/workload"
+)
+
+// Config parameterizes one load run. Zero fields take defaults.
+type Config struct {
+	Addr     string  // region server address (required)
+	Workers  int     // crowd size (default 20)
+	Rate     float64 // tasks per *uncompressed* second (default: Workers/80, the paper's stable ratio)
+	Tasks    int     // total tasks to submit (default 100)
+	Seed     int64   // behaviour/workload seed
+	Compress float64 // time compression factor (default 100)
+	Logf     func(format string, args ...any)
+}
+
+func (c Config) normalize() Config {
+	if c.Workers <= 0 {
+		c.Workers = 20
+	}
+	if c.Rate <= 0 {
+		// The paper's stable operating ratio: ~80 workers per task/s
+		// (750 workers at 9.375 tasks/s).
+		c.Rate = float64(c.Workers) / 80
+	}
+	if c.Tasks <= 0 {
+		c.Tasks = 100
+	}
+	if c.Compress <= 0 {
+		c.Compress = 100
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Report summarizes a run from the requester's perspective, plus the
+// server's own counters.
+type Report struct {
+	Submitted int
+	Results   int // result pushes received (completions + expiries)
+	OnTime    int
+	Late      int
+	Expired   int
+	Positive  int // positive feedbacks sent
+	Wall      time.Duration
+	Server    wire.StatsPayload
+}
+
+// Run executes the load: Workers worker connections with crowd behaviours,
+// one watching requester, Tasks submissions at the configured rate.
+func Run(cfg Config) (Report, error) {
+	cfg = cfg.normalize()
+	start := time.Now()
+
+	// Crowd connections, spread uniformly over the same area the task
+	// generator uses so multi-region backends see workers in every cell.
+	gen := workload.Generator{Prefix: fmt.Sprintf("load-%d", cfg.Seed)}.Normalize()
+	locRng := rand.New(rand.NewSource(cfg.Seed ^ 0x10c))
+	behaviors := crowd.NewPopulation(cfg.Workers, rand.New(rand.NewSource(cfg.Seed)))
+	var wg sync.WaitGroup
+	workers := make([]*wire.Client, 0, cfg.Workers)
+	defer func() {
+		for _, w := range workers {
+			w.Close()
+		}
+	}()
+	for i, b := range behaviors {
+		cl, err := wire.Dial(cfg.Addr)
+		if err != nil {
+			return Report{}, fmt.Errorf("loadgen: worker dial: %w", err)
+		}
+		workers = append(workers, cl)
+		id := fmt.Sprintf("load-w%03d", i)
+		loc := gen.Area.RandomPoint(locRng)
+		if err := cl.Register(id, loc.Lat, loc.Lon); err != nil {
+			return Report{}, fmt.Errorf("loadgen: register %s: %w", id, err)
+		}
+		wg.Add(1)
+		go func(id string, cl *wire.Client, b crowd.Behavior, seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for a := range cl.Assignments() {
+				exec := time.Duration(float64(b.ExecTime(rng)) / cfg.Compress)
+				time.Sleep(exec)
+				// Reassigned tasks fail Complete; that is expected traffic.
+				cl.Complete(a.TaskID, id, "synthetic answer")
+			}
+		}(id, cl, b, cfg.Seed^int64(i*2654435761))
+	}
+
+	// Requester connection: watch results, grade them.
+	req, err := wire.Dial(cfg.Addr)
+	if err != nil {
+		return Report{}, fmt.Errorf("loadgen: requester dial: %w", err)
+	}
+	defer req.Close()
+	if err := req.Watch(); err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	var mu sync.Mutex
+	var resultsSeen atomic.Int32
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for r := range req.Results() {
+			mu.Lock()
+			rep.Results++
+			switch {
+			case r.Expired:
+				rep.Expired++
+			case r.MetDeadline:
+				rep.OnTime++
+			default:
+				rep.Late++
+			}
+			mu.Unlock()
+			if !r.Expired {
+				positive := r.MetDeadline
+				if err := req.Feedback(r.TaskID, positive); err == nil && positive {
+					mu.Lock()
+					rep.Positive++
+					mu.Unlock()
+				}
+			}
+			resultsSeen.Add(1)
+		}
+	}()
+
+	// Submission loop: compressed constant-rate stream with the §V.C
+	// deadline band.
+	wrng := rand.New(rand.NewSource(cfg.Seed ^ 0x10adfeed))
+	gap := time.Duration(float64(time.Second) / cfg.Rate / cfg.Compress)
+	for i := 0; i < cfg.Tasks; i++ {
+		task := gen.Make(i, time.Now(), wrng)
+		deadline := time.Duration(float64(task.Deadline.Sub(time.Now())) / cfg.Compress)
+		err := req.Submit(wire.TaskPayload{
+			ID:          task.ID,
+			Lat:         task.Location.Lat,
+			Lon:         task.Location.Lon,
+			DeadlineMS:  deadline.Milliseconds(),
+			Reward:      task.Reward,
+			Category:    task.Category,
+			Description: task.Description,
+		})
+		if err != nil {
+			return rep, fmt.Errorf("loadgen: submit: %w", err)
+		}
+		rep.Submitted++
+		time.Sleep(gap)
+	}
+	cfg.Logf("loadgen: submitted %d tasks, draining", rep.Submitted)
+
+	// Drain: wait for every submission to terminate (bounded).
+	deadline := time.Now().Add(time.Duration(float64(3*time.Minute) / cfg.Compress * 2))
+	for time.Now().Before(deadline) && int(resultsSeen.Load()) < cfg.Tasks {
+		time.Sleep(10 * time.Millisecond)
+	}
+	stats, err := req.Stats()
+	for _, w := range workers {
+		w.Close()
+	}
+	wg.Wait()
+	// Close the requester feed and wait for the result collector so every
+	// rep field is settled before the final read.
+	req.Close()
+	<-done
+	if err == nil {
+		rep.Server = stats
+	}
+	rep.Wall = time.Since(start)
+	return rep, nil
+}

@@ -1,0 +1,79 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+
+	"react/internal/core"
+	"react/internal/dynassign"
+	"react/internal/schedule"
+	"react/internal/wire"
+)
+
+// startServer launches a wire server whose loop periods are compressed to
+// match the load generator's time scale.
+func startServer(t *testing.T) *wire.Server {
+	t.Helper()
+	s, err := wire.Serve("127.0.0.1:0", core.Options{
+		BatchPoll:     5 * time.Millisecond,
+		MonitorPeriod: 20 * time.Millisecond,
+		Schedule:      schedule.Config{BatchBound: 3, BatchPeriod: 20 * time.Millisecond},
+		Monitor:       dynassign.Monitor{Threshold: 0.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestLoadRunCompletes(t *testing.T) {
+	s := startServer(t)
+	rep, err := Run(Config{
+		Addr:     s.Addr(),
+		Workers:  10,
+		Rate:     5,
+		Tasks:    40,
+		Seed:     1,
+		Compress: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Submitted != 40 {
+		t.Fatalf("submitted %d", rep.Submitted)
+	}
+	if rep.Results == 0 {
+		t.Fatal("no results received")
+	}
+	if rep.OnTime+rep.Late+rep.Expired != rep.Results {
+		t.Fatalf("result accounting broken: %+v", rep)
+	}
+	// The crowd model has DelayProb 0.5 with the monitor active, so a
+	// majority of tasks should land on time even at high compression.
+	if rep.OnTime < rep.Submitted/3 {
+		t.Fatalf("only %d/%d on time: %+v", rep.OnTime, rep.Submitted, rep)
+	}
+	if rep.Server.Received != int64(rep.Submitted) {
+		t.Fatalf("server saw %d, submitted %d", rep.Server.Received, rep.Submitted)
+	}
+	if rep.Positive == 0 {
+		t.Fatal("no positive feedback delivered")
+	}
+	if rep.Wall <= 0 {
+		t.Fatal("wall time not recorded")
+	}
+}
+
+func TestLoadRunBadAddress(t *testing.T) {
+	if _, err := Run(Config{Addr: "127.0.0.1:1", Tasks: 1, Workers: 1}); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.normalize()
+	if c.Workers != 20 || c.Rate != 0.25 || c.Tasks != 100 || c.Compress != 100 || c.Logf == nil {
+		t.Fatalf("defaults = %+v", c)
+	}
+}

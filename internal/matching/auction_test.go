@@ -1,0 +1,109 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"react/internal/bipartite"
+)
+
+func TestAuctionValidMatching(t *testing.T) {
+	for _, density := range []float64{0.1, 0.5, 1.0} {
+		g := randomGraph(12, 9, density, 7)
+		m, _ := Auction{}.Match(g)
+		if err := m.Validate(); err != nil {
+			t.Errorf("density %.1f: %v", density, err)
+		}
+	}
+}
+
+func TestAuctionEmptyGraph(t *testing.T) {
+	m, st := Auction{}.Match(bipartite.NewBuilder(0, 0).Build())
+	if m.Size() != 0 || st.Adds != 0 {
+		t.Fatalf("empty: size=%d stats=%+v", m.Size(), st)
+	}
+	m, _ = Auction{}.Match(randomGraph(5, 5, 0, 1))
+	if m.Size() != 0 {
+		t.Fatal("edgeless graph produced a matching")
+	}
+}
+
+func TestAuctionNearOptimal(t *testing.T) {
+	// ε-optimality: weight ≥ optimum − matched·ε.
+	for seed := int64(0); seed < 15; seed++ {
+		g := randomGraph(12, 12, 0.7, seed+200)
+		opt, _ := Hungarian{}.Match(g)
+		eps := g.MaxWeight() / float64(g.NumTasks()+1)
+		auc, _ := Auction{Epsilon: eps}.Match(g)
+		bound := opt.Weight() - float64(auc.Size())*eps
+		if auc.Weight() < bound-1e-9 {
+			t.Fatalf("seed %d: auction %v below ε-bound %v (opt %v)", seed, auc.Weight(), bound, opt.Weight())
+		}
+		if auc.Weight() > opt.Weight()+1e-9 {
+			t.Fatalf("seed %d: auction %v above optimum %v", seed, auc.Weight(), opt.Weight())
+		}
+	}
+}
+
+func TestAuctionTightEpsilonApproachesOptimum(t *testing.T) {
+	g := randomGraph(20, 20, 1.0, 9)
+	opt, _ := Hungarian{}.Match(g)
+	auc, _ := Auction{Epsilon: 1e-6}.Match(g)
+	if diff := opt.Weight() - auc.Weight(); diff > 20*1e-6+1e-9 {
+		t.Fatalf("tight-ε auction off optimum by %v", diff)
+	}
+	if auc.Size() != opt.Size() {
+		t.Fatalf("auction matched %d, optimum %d", auc.Size(), opt.Size())
+	}
+}
+
+func TestAuctionFullGraphMatchesEveryTask(t *testing.T) {
+	g := bipartite.Full(30, 20, func(w, tk int) float64 {
+		return 0.1 + float64((w*7+tk*3)%90)/100
+	})
+	m, st := Auction{}.Match(g)
+	if m.Size() != 20 {
+		t.Fatalf("matched %d of 20 on a full graph with spare workers", m.Size())
+	}
+	if st.Adds < 20 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAuctionBeatsREACTGivenSameGraph(t *testing.T) {
+	// Not a theorem, but with ε-optimality the auction should comfortably
+	// beat a small fixed REACT budget on dense mid-sized graphs.
+	g := bipartite.Full(60, 60, func(w, tk int) float64 {
+		return rand.New(rand.NewSource(int64(w*61 + tk))).Float64()
+	})
+	auc, _ := Auction{}.Match(g)
+	re, _ := REACT{Cycles: 1000, Rand: rand.New(rand.NewSource(1))}.Match(g)
+	if auc.Weight() <= re.Weight() {
+		t.Fatalf("auction %v not above REACT(1000) %v", auc.Weight(), re.Weight())
+	}
+}
+
+func TestQuickAuctionValidAndBounded(t *testing.T) {
+	f := func(seed int64, nw, nt uint8) bool {
+		g := randomGraph(int(nw%12)+1, int(nt%12)+1, 0.6, seed)
+		m, _ := Auction{}.Match(g)
+		if m.Validate() != nil {
+			return false
+		}
+		opt, _ := Hungarian{}.Match(g)
+		return m.Weight() <= opt.Weight()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(41))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAuction100x100(b *testing.B) {
+	g := bipartite.Full(100, 100, func(w, tk int) float64 { return float64((w*101+tk)%100) / 100 })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Auction{}.Match(g)
+	}
+}

@@ -1,0 +1,52 @@
+package matching_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"react/internal/bipartite"
+	"react/internal/matching"
+)
+
+// Build a small batch graph and compare the paper's heuristic against the
+// exact optimum.
+func Example() {
+	b := bipartite.NewBuilder(3, 2)
+	for _, w := range []string{"alice", "bob", "carol"} {
+		b.AddWorker(w)
+	}
+	for _, t := range []string{"traffic-check", "photo-tag"} {
+		b.AddTask(t)
+	}
+	b.AddEdge("alice", "traffic-check", 0.9) // alice is the traffic expert
+	b.AddEdge("alice", "photo-tag", 0.4)
+	b.AddEdge("bob", "traffic-check", 0.7)
+	b.AddEdge("carol", "photo-tag", 0.8)
+	g := b.Build()
+
+	react, _ := matching.REACT{Cycles: 200, Rand: rand.New(rand.NewSource(1))}.Match(g)
+	exact, _ := matching.Hungarian{}.Match(g)
+	fmt.Printf("react:  %s\n", react.Assignments()["traffic-check"])
+	fmt.Printf("weight: react %.1f vs optimal %.1f\n", react.Weight(), exact.Weight())
+	// Output:
+	// react:  alice
+	// weight: react 1.7 vs optimal 1.7
+}
+
+// The cardinality ceiling tells the scheduler whether unmatched tasks are a
+// budget problem (REACT matched fewer than possible) or a pruning problem
+// (nobody could match more).
+func ExampleHopcroftKarp() {
+	// Three tasks all depend on the same single worker: only one is
+	// assignable no matter the algorithm.
+	b := bipartite.NewBuilder(1, 3)
+	b.AddWorker("solo")
+	for i := 0; i < 3; i++ {
+		id := fmt.Sprintf("t%d", i)
+		b.AddTask(id)
+		b.AddEdge("solo", id, 0.5)
+	}
+	ceiling, _ := matching.HopcroftKarp{}.Match(b.Build())
+	fmt.Println("assignable:", ceiling.Size(), "of 3")
+	// Output: assignable: 1 of 3
+}

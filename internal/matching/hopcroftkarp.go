@@ -1,0 +1,109 @@
+package matching
+
+import (
+	"react/internal/bipartite"
+)
+
+// HopcroftKarp computes a maximum-cardinality matching in O(E·√V),
+// ignoring weights. It answers a question none of the weighted matchers do:
+// how many of this batch's tasks are assignable *at all* given the surviving
+// edges? The scheduler's diagnostics compare a weighted matcher's Size
+// against this ceiling to distinguish "cycles too small" (REACT matched
+// fewer than possible) from "pruning too aggressive" (nobody could match
+// more).
+type HopcroftKarp struct{}
+
+// Name implements Matcher.
+func (HopcroftKarp) Name() string { return "hopcroft-karp" }
+
+const hkInf = int32(1) << 30
+
+// Match implements Matcher.
+func (HopcroftKarp) Match(g *bipartite.Graph) (*bipartite.Matching, Stats) {
+	m := bipartite.NewMatching(g)
+	var st Stats
+	nT := int32(g.NumTasks())
+	nW := int32(g.NumWorkers())
+	if nT == 0 || nW == 0 || g.NumEdges() == 0 {
+		return m, st
+	}
+
+	pairT := make([]int32, nT) // matched edge index at each task, -1 free
+	pairW := make([]int32, nW) // matched edge index at each worker, -1 free
+	for i := range pairT {
+		pairT[i] = -1
+	}
+	for i := range pairW {
+		pairW[i] = -1
+	}
+	dist := make([]int32, nT)
+	queue := make([]int32, 0, nT)
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for t := int32(0); t < nT; t++ {
+			if pairT[t] == -1 {
+				dist[t] = 0
+				queue = append(queue, t)
+			} else {
+				dist[t] = hkInf
+			}
+		}
+		found := false
+		for head := 0; head < len(queue); head++ {
+			t := queue[head]
+			for _, ei := range g.TaskEdges(t) {
+				st.EdgesScanned++
+				w := g.Edge(int(ei)).Worker
+				if pairW[w] == -1 {
+					found = true
+					continue
+				}
+				next := g.Edge(int(pairW[w])).Task
+				if dist[next] == hkInf {
+					dist[next] = dist[t] + 1
+					queue = append(queue, next)
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(t int32) bool
+	dfs = func(t int32) bool {
+		for _, ei := range g.TaskEdges(t) {
+			st.EdgesScanned++
+			w := g.Edge(int(ei)).Worker
+			if pairW[w] == -1 {
+				pairT[t] = ei
+				pairW[w] = ei
+				return true
+			}
+			next := g.Edge(int(pairW[w])).Task
+			if dist[next] == dist[t]+1 && dfs(next) {
+				pairT[t] = ei
+				pairW[w] = ei
+				return true
+			}
+		}
+		dist[t] = hkInf
+		return false
+	}
+
+	for bfs() {
+		st.Cycles++ // phases
+		for t := int32(0); t < nT; t++ {
+			if pairT[t] == -1 && dfs(t) {
+				st.Adds++
+			}
+		}
+	}
+	for t := int32(0); t < nT; t++ {
+		if pairT[t] != -1 {
+			if err := m.Add(pairT[t]); err != nil {
+				panic("matching: hopcroft-karp produced conflicting pairs: " + err.Error())
+			}
+		}
+	}
+	return m, st
+}

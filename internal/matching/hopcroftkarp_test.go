@@ -1,0 +1,144 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"react/internal/bipartite"
+)
+
+// bruteMaxCardinality finds the maximum matching size by recursion; tiny
+// graphs only.
+func bruteMaxCardinality(g *bipartite.Graph) int {
+	usedW := make([]bool, g.NumWorkers())
+	var rec func(t int32) int
+	rec = func(t int32) int {
+		if t == int32(g.NumTasks()) {
+			return 0
+		}
+		best := rec(t + 1)
+		for _, ei := range g.TaskEdges(t) {
+			e := g.Edge(int(ei))
+			if usedW[e.Worker] {
+				continue
+			}
+			usedW[e.Worker] = true
+			if n := 1 + rec(t+1); n > best {
+				best = n
+			}
+			usedW[e.Worker] = false
+		}
+		return best
+	}
+	return rec(0)
+}
+
+func TestHopcroftKarpMatchesBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		for _, density := range []float64{0.2, 0.5, 0.8} {
+			g := randomGraph(7, 7, density, seed+300)
+			m, _ := HopcroftKarp{}.Match(g)
+			if err := m.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if want := bruteMaxCardinality(g); m.Size() != want {
+				t.Fatalf("seed %d density %v: size %d, want %d", seed, density, m.Size(), want)
+			}
+		}
+	}
+}
+
+func TestHopcroftKarpPerfectOnFullGraph(t *testing.T) {
+	g := bipartite.Full(40, 25, func(w, tk int) float64 { return 1 })
+	m, st := HopcroftKarp{}.Match(g)
+	if m.Size() != 25 {
+		t.Fatalf("size %d, want 25", m.Size())
+	}
+	if st.Adds != 25 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestHopcroftKarpEmpty(t *testing.T) {
+	m, _ := HopcroftKarp{}.Match(bipartite.NewBuilder(0, 0).Build())
+	if m.Size() != 0 {
+		t.Fatal("matched on empty graph")
+	}
+	m, _ = HopcroftKarp{}.Match(randomGraph(4, 4, 0, 1))
+	if m.Size() != 0 {
+		t.Fatal("matched on edgeless graph")
+	}
+}
+
+func TestHopcroftKarpBottleneckGraph(t *testing.T) {
+	// Every task connects only to worker 0: max cardinality is exactly 1.
+	b := bipartite.NewBuilder(3, 5)
+	for i := 0; i < 3; i++ {
+		b.AddWorker(workerName(i))
+	}
+	for j := 0; j < 5; j++ {
+		b.AddTask(taskName(j))
+		b.AddEdgeIdx(0, int32(j), 0.5)
+	}
+	m, _ := HopcroftKarp{}.Match(b.Build())
+	if m.Size() != 1 {
+		t.Fatalf("bottleneck size = %d, want 1", m.Size())
+	}
+}
+
+func TestHopcroftKarpCeilingDominatesWeightedMatchers(t *testing.T) {
+	// The cardinality ceiling bounds every other matcher's Size.
+	for seed := int64(0); seed < 10; seed++ {
+		g := randomGraph(10, 14, 0.3, seed+400)
+		ceiling, _ := HopcroftKarp{}.Match(g)
+		for _, a := range allMatchers(seed) {
+			m, _ := a.Match(g)
+			if m.Size() > ceiling.Size() {
+				t.Fatalf("%s matched %d above ceiling %d (seed %d)",
+					a.Name(), m.Size(), ceiling.Size(), seed)
+			}
+		}
+	}
+}
+
+func TestQuickHopcroftKarpOptimalCardinality(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(6, 6, 0.4, seed)
+		m, _ := HopcroftKarp{}.Match(g)
+		return m.Validate() == nil && m.Size() == bruteMaxCardinality(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(43))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestREACTAnnealedValidAndCompetitive(t *testing.T) {
+	g := bipartite.Full(60, 60, func(w, tk int) float64 {
+		return rand.New(rand.NewSource(int64(w*61 + tk))).Float64()
+	})
+	var fixed, annealed float64
+	for seed := int64(0); seed < 5; seed++ {
+		f, _ := REACT{Cycles: 3000, Rand: rand.New(rand.NewSource(seed))}.Match(g)
+		a, _ := REACT{Cycles: 3000, Anneal: true, Rand: rand.New(rand.NewSource(seed))}.Match(g)
+		if err := a.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		fixed += f.Weight()
+		annealed += a.Weight()
+	}
+	// Annealing should at least not be badly worse; typically it helps by
+	// suppressing late-stage removals.
+	if annealed < 0.9*fixed {
+		t.Fatalf("annealed total %v far below fixed-K %v", annealed, fixed)
+	}
+}
+
+func BenchmarkHopcroftKarp500x500(b *testing.B) {
+	g := bipartite.Full(500, 500, func(w, tk int) float64 { return 1 })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		HopcroftKarp{}.Match(g)
+	}
+}

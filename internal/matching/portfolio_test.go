@@ -1,0 +1,82 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+
+	"react/internal/bipartite"
+)
+
+func TestPortfolioValidAndDeterministic(t *testing.T) {
+	g := randomGraph(15, 15, 0.7, 11)
+	a, sa := Portfolio{Searches: 4, Cycles: 500, Seed: 5}.Match(g)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	b, sb := Portfolio{Searches: 4, Cycles: 500, Seed: 5}.Match(g)
+	if a.Weight() != b.Weight() || sa.Cycles != sb.Cycles {
+		t.Fatalf("same seed diverged: %v/%v vs %v/%v", a.Weight(), sa.Cycles, b.Weight(), sb.Cycles)
+	}
+	if sa.Cycles != 4*500 {
+		t.Fatalf("aggregate cycles = %d, want 2000", sa.Cycles)
+	}
+}
+
+func TestPortfolioAtLeastSingleSearch(t *testing.T) {
+	// The max over k searches dominates any single member, so across seeds
+	// the portfolio should never lose to search #0 with the same stream.
+	g := bipartite.Full(50, 50, func(w, tk int) float64 {
+		return rand.New(rand.NewSource(int64(w*53 + tk))).Float64()
+	})
+	for seed := int64(0); seed < 5; seed++ {
+		single, _ := REACT{Cycles: 800,
+			Rand: rand.New(rand.NewSource(seed ^ 1*0x5851f42d4c957f2d))}.Match(g)
+		port, _ := Portfolio{Searches: 4, Cycles: 800, Seed: seed}.Match(g)
+		if port.Weight() < single.Weight()-1e-9 {
+			t.Fatalf("seed %d: portfolio %v below its own first member %v",
+				seed, port.Weight(), single.Weight())
+		}
+	}
+}
+
+func TestPortfolioSingleSearchEqualsREACT(t *testing.T) {
+	g := randomGraph(10, 10, 0.8, 13)
+	p, _ := Portfolio{Searches: 1, Cycles: 300, Seed: 9}.Match(g)
+	r, _ := REACT{Cycles: 300, Rand: rand.New(rand.NewSource(9))}.Match(g)
+	if p.Weight() != r.Weight() {
+		t.Fatalf("degenerate portfolio %v != react %v", p.Weight(), r.Weight())
+	}
+}
+
+func TestPortfolioEmptyGraph(t *testing.T) {
+	m, _ := Portfolio{Searches: 4}.Match(bipartite.NewBuilder(0, 0).Build())
+	if m.Size() != 0 {
+		t.Fatal("matched on empty graph")
+	}
+}
+
+func TestPortfolioImprovesExpectedWeight(t *testing.T) {
+	// Statistical: averaged over seeds, max-of-4 beats a single search.
+	g := bipartite.Full(60, 60, func(w, tk int) float64 {
+		return rand.New(rand.NewSource(int64(w*59 + tk))).Float64()
+	})
+	var single, portfolio float64
+	for seed := int64(0); seed < 8; seed++ {
+		s, _ := REACT{Cycles: 600, Rand: rand.New(rand.NewSource(seed))}.Match(g)
+		p, _ := Portfolio{Searches: 4, Cycles: 600, Seed: seed}.Match(g)
+		single += s.Weight()
+		portfolio += p.Weight()
+	}
+	if portfolio <= single {
+		t.Fatalf("portfolio total %v not above single %v", portfolio, single)
+	}
+}
+
+func BenchmarkPortfolio4x1000Cycles(b *testing.B) {
+	g := bipartite.Full(100, 100, func(w, tk int) float64 { return float64((w*101+tk)%100) / 100 })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Portfolio{Searches: 4, Cycles: 1000, Seed: int64(i)}.Match(g)
+	}
+}

@@ -1,0 +1,47 @@
+package matching
+
+import (
+	"math/rand"
+
+	"react/internal/bipartite"
+)
+
+// Uniform models the "traditional approach" of §V.C: systems like AMT do
+// not assign tasks at all — workers browse the portal and self-select, which
+// from the scheduler's viewpoint is a uniformly random pairing of tasks with
+// willing (edge-connected, still-free) workers, blind to skill, speed, or
+// deadline. Each task draws one incident edge uniformly among those whose
+// worker is available.
+type Uniform struct {
+	Rand *rand.Rand
+}
+
+// Name implements Matcher.
+func (Uniform) Name() string { return "traditional" }
+
+// Match implements Matcher.
+func (a Uniform) Match(g *bipartite.Graph) (*bipartite.Matching, Stats) {
+	m := bipartite.NewMatching(g)
+	rng := rngOrDefault(a.Rand)
+	var st Stats
+	// Visit tasks in random order so early tasks are not systematically
+	// favoured when workers run short.
+	order := rng.Perm(g.NumTasks())
+	var free []int32
+	for _, ti := range order {
+		t := int32(ti)
+		free = free[:0]
+		for _, ei := range g.TaskEdges(t) {
+			st.EdgesScanned++
+			if m.WorkerEdge(g.Edge(int(ei)).Worker) == -1 {
+				free = append(free, ei)
+			}
+		}
+		if len(free) == 0 {
+			continue
+		}
+		m.Add(free[rng.Intn(len(free))])
+		st.Adds++
+	}
+	return m, st
+}

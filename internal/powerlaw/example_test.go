@@ -1,0 +1,33 @@
+package powerlaw_test
+
+import (
+	"fmt"
+
+	"react/internal/powerlaw"
+)
+
+// A worker's last five completion times (seconds) feed the model; the
+// scheduler then asks Eq. 3 whether a 30-second deadline is realistic and
+// Eq. 2 whether a task already running for 20 seconds is still likely to
+// make a 60-second window.
+func Example() {
+	var f powerlaw.Fitter
+	for _, secs := range []float64{4, 6, 9, 5, 7} {
+		f.Add(secs)
+	}
+	m, _ := f.Model()
+	fmt.Printf("alpha=%.2f kmin=%.0f\n", m.Alpha, m.Kmin)
+	fmt.Printf("Eq3 Pr(exec < 30s)       = %.2f\n", m.ProbMeetDeadline(30))
+	fmt.Printf("Eq2 Pr(20s < exec < 60s) = %.2f\n", m.ProbWindow(20, 60))
+	// Output:
+	// alpha=2.87 kmin=4
+	// Eq3 Pr(exec < 30s)       = 0.98
+	// Eq2 Pr(20s < exec < 60s) = 0.04
+}
+
+// Quantile answers "by when will 90% of this worker's tasks be done".
+func ExampleModel_Quantile() {
+	m, _ := powerlaw.New(2.5, 5)
+	fmt.Printf("p50=%.1fs p90=%.1fs\n", m.Quantile(0.5), m.Quantile(0.9))
+	// Output: p50=7.9s p90=23.2s
+}

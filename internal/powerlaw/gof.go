@@ -1,0 +1,102 @@
+package powerlaw
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// This file implements the goodness-of-fit machinery of Clauset, Shalizi
+// and Newman (the paper's reference [22] for why completion times are
+// power-law distributed): the Kolmogorov–Smirnov distance between a fitted
+// model and its data, and a parametric-bootstrap p-value. REACT itself
+// schedules on the fitted CCDF regardless, but a deployment can use the
+// p-value to flag workers whose history has stopped looking power-law —
+// e.g. a bot with constant response times — and fall back to trainee
+// handling for them.
+
+// KSDistance is the Kolmogorov–Smirnov statistic between the model and an
+// empirical sample: the maximum absolute difference between the model CDF
+// and the empirical CDF, evaluated over samples ≥ Kmin (the region where
+// power-law behaviour is claimed). It returns an error when no samples
+// reach Kmin.
+func (m Model) KSDistance(samples []float64) (float64, error) {
+	tail := make([]float64, 0, len(samples))
+	for _, s := range samples {
+		if s >= m.Kmin {
+			tail = append(tail, s)
+		}
+	}
+	if len(tail) == 0 {
+		return 0, fmt.Errorf("powerlaw: no samples at or above kmin %v", m.Kmin)
+	}
+	sort.Float64s(tail)
+	n := float64(len(tail))
+	var max float64
+	for i, x := range tail {
+		model := m.CDF(x)
+		// Compare against both step edges of the empirical CDF.
+		lo := float64(i) / n
+		hi := float64(i+1) / n
+		if d := model - lo; d > max {
+			max = d
+		}
+		if d := hi - model; d > max {
+			max = d
+		}
+	}
+	return max, nil
+}
+
+// GoFResult reports a bootstrap goodness-of-fit test.
+type GoFResult struct {
+	Distance float64 // KS distance of the fitted model vs the data
+	PValue   float64 // fraction of synthetic datasets fitting worse
+	Trials   int
+}
+
+// PlausiblyPowerLaw applies the conventional 0.1 threshold of Clauset et
+// al.: below it the power-law hypothesis is rejected.
+func (r GoFResult) PlausiblyPowerLaw() bool { return r.PValue > 0.1 }
+
+// GoodnessOfFit runs the parametric bootstrap: fit the data, then repeat
+// `trials` times {draw an equal-size dataset from the fitted model, refit,
+// measure its KS distance}; the p-value is the fraction of synthetic
+// datasets whose distance is at least the data's. 100 trials give a ±0.03
+// p-value resolution, enough for the 0.1 decision threshold.
+func GoodnessOfFit(samples []float64, trials int, rng *rand.Rand) (GoFResult, error) {
+	if trials < 1 {
+		return GoFResult{}, fmt.Errorf("powerlaw: need at least 1 trial, got %d", trials)
+	}
+	model, err := Fit(samples)
+	if err != nil {
+		return GoFResult{}, err
+	}
+	d0, err := model.KSDistance(samples)
+	if err != nil {
+		return GoFResult{}, err
+	}
+	worse := 0
+	synth := make([]float64, len(samples))
+	for t := 0; t < trials; t++ {
+		for i := range synth {
+			synth[i] = model.Sample(rng)
+		}
+		mt, err := Fit(synth)
+		if err != nil {
+			return GoFResult{}, err
+		}
+		dt, err := mt.KSDistance(synth)
+		if err != nil {
+			return GoFResult{}, err
+		}
+		if dt >= d0 {
+			worse++
+		}
+	}
+	return GoFResult{
+		Distance: d0,
+		PValue:   float64(worse) / float64(trials),
+		Trials:   trials,
+	}, nil
+}

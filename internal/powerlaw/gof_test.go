@@ -1,0 +1,154 @@
+package powerlaw
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestKSDistanceBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := mustModel(t, 2.5, 2)
+	samples := make([]float64, 2000)
+	for i := range samples {
+		samples[i] = m.Sample(rng)
+	}
+	d, err := m.KSDistance(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 0 || d > 1 {
+		t.Fatalf("KS distance %v out of [0,1]", d)
+	}
+	// Data drawn from the model itself should fit closely at n=2000.
+	if d > 0.05 {
+		t.Fatalf("self-sampled KS distance %v unexpectedly large", d)
+	}
+}
+
+func TestKSDistanceDetectsWrongModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	truth := mustModel(t, 3.5, 2)
+	wrong := mustModel(t, 1.5, 2) // much heavier tail
+	samples := make([]float64, 2000)
+	for i := range samples {
+		samples[i] = truth.Sample(rng)
+	}
+	dTruth, err := truth.KSDistance(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dWrong, err := wrong.KSDistance(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dWrong < 5*dTruth {
+		t.Fatalf("wrong model KS %v not clearly above true model %v", dWrong, dTruth)
+	}
+}
+
+func TestKSDistanceNoTail(t *testing.T) {
+	m := mustModel(t, 2.5, 100)
+	if _, err := m.KSDistance([]float64{1, 2, 3}); err == nil {
+		t.Fatal("KS with all samples below kmin accepted")
+	}
+}
+
+func TestGoodnessOfFitAcceptsPowerLawData(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	truth := mustModel(t, 2.5, 5)
+	samples := make([]float64, 500)
+	for i := range samples {
+		samples[i] = truth.Sample(rng)
+	}
+	res, err := GoodnessOfFit(samples, 60, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.PlausiblyPowerLaw() {
+		t.Fatalf("true power-law data rejected: %+v", res)
+	}
+	if res.Trials != 60 || res.Distance <= 0 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestGoodnessOfFitRejectsUniformData(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// Uniform [10, 20) data has a sharp upper cutoff no power law matches.
+	samples := make([]float64, 800)
+	for i := range samples {
+		samples[i] = 10 + 10*rng.Float64()
+	}
+	res, err := GoodnessOfFit(samples, 60, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PlausiblyPowerLaw() {
+		t.Fatalf("uniform data accepted as power law: %+v", res)
+	}
+}
+
+func TestGoodnessOfFitRejectsConstantBotData(t *testing.T) {
+	// The deployment scenario: a bot answering in exactly 3.0s every time.
+	// The discrete −½ correction still yields a finite α, but the KS
+	// distance between a point mass and any power law is near 1, so the
+	// bootstrap rejects decisively.
+	samples := make([]float64, 100)
+	for i := range samples {
+		samples[i] = 3.0
+	}
+	rng := rand.New(rand.NewSource(6))
+	res, err := GoodnessOfFit(samples, 40, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PlausiblyPowerLaw() {
+		t.Fatalf("bot data accepted as power law: %+v", res)
+	}
+	if res.Distance < 0.5 {
+		t.Fatalf("point-mass KS distance %v unexpectedly small", res.Distance)
+	}
+}
+
+func TestGoodnessOfFitValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	if _, err := GoodnessOfFit([]float64{1, 2, 3}, 0, rng); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+	if _, err := GoodnessOfFit(nil, 10, rng); err == nil {
+		t.Fatal("empty samples accepted")
+	}
+}
+
+// FuzzFitterInvariants drives the fitting pipeline with arbitrary sample
+// bytes: whatever the inputs, Fit must either reject them or produce a
+// model whose CCDF is a valid monotone survival function.
+func FuzzFitterInvariants(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4})
+	f.Add([]byte{255, 0, 17})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		samples := make([]float64, 0, len(data))
+		for _, b := range data {
+			samples = append(samples, 0.5+float64(b)) // positive by construction
+		}
+		m, err := Fit(samples)
+		if err != nil {
+			if len(samples) != 0 {
+				t.Fatalf("positive samples rejected: %v", err)
+			}
+			return
+		}
+		if m.Alpha < MinAlpha || m.Alpha > MaxAlpha {
+			t.Fatalf("alpha %v out of range", m.Alpha)
+		}
+		prev := 1.0
+		for k := m.Kmin; k < m.Kmin*8; k += m.Kmin / 4 {
+			p := m.CCDF(k)
+			if p < 0 || p > prev {
+				t.Fatalf("CCDF not monotone at %v", k)
+			}
+			prev = p
+		}
+	})
+}

@@ -1,0 +1,384 @@
+// Package taskq is REACT's Task Management Component (§III.A): the
+// authoritative registry of every task submitted to a region server. It
+// tracks each task's assignment state, the time elapsed since assignment,
+// the remaining time to its deadline, and expiry. The Scheduling Component
+// reads the unassigned set from here; the Dynamic Assignment Component
+// returns tasks here when it predicts a deadline miss.
+package taskq
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"react/internal/clock"
+	"react/internal/region"
+)
+
+// Status is a task's lifecycle state.
+type Status int
+
+// Task lifecycle: submitted tasks are Unassigned until the scheduler matches
+// them, may bounce between Assigned and Unassigned on reassignment, and
+// terminate as Completed (result delivered) or Expired (deadline passed).
+const (
+	Unassigned Status = iota
+	Assigned
+	Completed
+	Expired
+)
+
+// String names the status for logs and tables.
+func (s Status) String() string {
+	switch s {
+	case Unassigned:
+		return "unassigned"
+	case Assigned:
+		return "assigned"
+	case Completed:
+		return "completed"
+	case Expired:
+		return "expired"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Task is the requester-supplied description of a unit of crowd work
+// (§III.B): ⟨id, latitude, longitude, deadline, reward, description⟩ plus
+// the category used by the quality weight function.
+type Task struct {
+	ID          string
+	Location    region.Point
+	Deadline    time.Time // absolute instant the soft deadline expires
+	Reward      float64
+	Category    string
+	Description string
+	Submitted   time.Time
+}
+
+// Record is the manager's view of a task: the task itself plus assignment
+// bookkeeping.
+type Record struct {
+	Task       Task
+	Status     Status
+	Worker     string    // current or last worker ("" if never assigned)
+	AssignedAt time.Time // zero unless Status == Assigned
+	FinishedAt time.Time // zero unless terminal
+	Attempts   int       // number of assignments performed (≥1 after first)
+	Graded     bool      // requester feedback already recorded
+}
+
+// Errors reported by the manager.
+var (
+	ErrDuplicateTask = errors.New("taskq: duplicate task id")
+	ErrUnknownTask   = errors.New("taskq: unknown task id")
+	ErrBadState      = errors.New("taskq: operation invalid in current status")
+	ErrPastDeadline  = errors.New("taskq: deadline not after submission")
+)
+
+// Manager is the Task Management Component. It is safe for concurrent use.
+type Manager struct {
+	clk     clock.Clock
+	mu      sync.Mutex
+	records map[string]*Record
+	counts  [4]int
+}
+
+// NewManager creates a manager reading time from clk.
+func NewManager(clk clock.Clock) *Manager {
+	return &Manager{clk: clk, records: make(map[string]*Record)}
+}
+
+// Submit registers a new unassigned task. The task's Submitted field is
+// stamped with the current instant; its deadline must lie in the future.
+func (m *Manager) Submit(t Task) error {
+	now := m.clk.Now()
+	if !t.Deadline.After(now) {
+		return fmt.Errorf("%w: task %q deadline %v at %v", ErrPastDeadline, t.ID, t.Deadline, now)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.records[t.ID]; dup {
+		return fmt.Errorf("%w: %q", ErrDuplicateTask, t.ID)
+	}
+	t.Submitted = now
+	m.records[t.ID] = &Record{Task: t, Status: Unassigned}
+	m.counts[Unassigned]++
+	return nil
+}
+
+// Get returns a copy of the record for id.
+func (m *Manager) Get(id string) (Record, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.records[id]
+	if !ok {
+		return Record{}, false
+	}
+	return *r, true
+}
+
+// Unassigned snapshots the tasks currently waiting for a worker, oldest
+// submission first (stable order keeps batch construction deterministic).
+func (m *Manager) Unassigned() []Task {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Task, 0, m.counts[Unassigned])
+	for _, r := range m.records {
+		if r.Status == Unassigned {
+			out = append(out, r.Task)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Submitted.Equal(out[j].Submitted) {
+			return out[i].Submitted.Before(out[j].Submitted)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// UnassignedCount reports how many tasks await assignment — the batch
+// trigger reads this every arrival.
+func (m *Manager) UnassignedCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counts[Unassigned]
+}
+
+// Assign binds an unassigned task to a worker, stamping AssignedAt.
+func (m *Manager) Assign(taskID, workerID string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.records[taskID]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownTask, taskID)
+	}
+	if r.Status != Unassigned {
+		return fmt.Errorf("%w: assign %q while %v", ErrBadState, taskID, r.Status)
+	}
+	m.transition(r, Assigned)
+	r.Worker = workerID
+	r.AssignedAt = m.clk.Now()
+	r.Attempts++
+	return nil
+}
+
+// Unassign returns an assigned task to the pool (worker abandoned it, or
+// the Dynamic Assignment Component predicted a miss). The attempt count is
+// preserved so profiles of flaky workers can be penalized by callers.
+func (m *Manager) Unassign(taskID string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.records[taskID]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownTask, taskID)
+	}
+	if r.Status != Assigned {
+		return fmt.Errorf("%w: unassign %q while %v", ErrBadState, taskID, r.Status)
+	}
+	m.transition(r, Unassigned)
+	r.Worker = ""
+	r.AssignedAt = time.Time{}
+	return nil
+}
+
+// Complete finishes an assigned task and returns the final record. The
+// caller decides whether the completion beat the deadline via MetDeadline.
+func (m *Manager) Complete(taskID string) (Record, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.records[taskID]
+	if !ok {
+		return Record{}, fmt.Errorf("%w: %q", ErrUnknownTask, taskID)
+	}
+	if r.Status != Assigned {
+		return Record{}, fmt.Errorf("%w: complete %q while %v", ErrBadState, taskID, r.Status)
+	}
+	m.transition(r, Completed)
+	r.FinishedAt = m.clk.Now()
+	return *r, nil
+}
+
+// ExpireDue transitions every non-terminal task whose deadline has passed
+// to Expired and returns their records. REACT treats deadlines as soft, so
+// an expired-while-assigned task is simply recorded as missed; the worker's
+// eventual answer is discarded.
+func (m *Manager) ExpireDue() []Record {
+	return m.expire(true)
+}
+
+// ExpireUnassigned is ExpireDue restricted to tasks still waiting in the
+// pool. The paper's evaluation uses this policy: a task already in a
+// worker's hands runs to (possibly late) completion and is merely *counted*
+// as missed, while a task nobody picked up by its deadline leaves the
+// repository — the fate of the Greedy approach's queued tasks in §V.C.
+func (m *Manager) ExpireUnassigned() []Record {
+	return m.expire(false)
+}
+
+func (m *Manager) expire(includeAssigned bool) []Record {
+	now := m.clk.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []Record
+	for _, r := range m.records {
+		if r.Status != Unassigned && !(includeAssigned && r.Status == Assigned) {
+			continue
+		}
+		if r.Task.Deadline.After(now) {
+			continue
+		}
+		m.transition(r, Expired)
+		r.FinishedAt = now
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Task.ID < out[j].Task.ID })
+	return out
+}
+
+// RemainingTime reports the time from now until the task's deadline
+// (negative once overdue).
+func (m *Manager) RemainingTime(taskID string) (time.Duration, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.records[taskID]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownTask, taskID)
+	}
+	return r.Task.Deadline.Sub(m.clk.Now()), nil
+}
+
+// Elapsed reports t_ij, the time since the task was assigned.
+func (m *Manager) Elapsed(taskID string) (time.Duration, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.records[taskID]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownTask, taskID)
+	}
+	if r.Status != Assigned {
+		return 0, fmt.Errorf("%w: elapsed of %q while %v", ErrBadState, taskID, r.Status)
+	}
+	return m.clk.Now().Sub(r.AssignedAt), nil
+}
+
+// AssignedTasks snapshots the records currently executing, for the dynamic
+// assignment monitor.
+func (m *Manager) AssignedTasks() []Record {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Record, 0, m.counts[Assigned])
+	for _, r := range m.records {
+		if r.Status == Assigned {
+			out = append(out, *r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Task.ID < out[j].Task.ID })
+	return out
+}
+
+// Counts reports how many tasks are in each state.
+func (m *Manager) Counts() (unassigned, assigned, completed, expired int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counts[Unassigned], m.counts[Assigned], m.counts[Completed], m.counts[Expired]
+}
+
+// Total reports how many tasks have ever been submitted.
+func (m *Manager) Total() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.records)
+}
+
+// Forget drops a terminal task from the registry, bounding memory in
+// long-running deployments. Non-terminal tasks cannot be forgotten.
+func (m *Manager) Forget(taskID string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.records[taskID]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownTask, taskID)
+	}
+	if r.Status != Completed && r.Status != Expired {
+		return fmt.Errorf("%w: forget %q while %v", ErrBadState, taskID, r.Status)
+	}
+	m.counts[r.Status]--
+	delete(m.records, taskID)
+	return nil
+}
+
+// MarkGraded records that the requester's feedback for a completed task has
+// been consumed, exactly once: a second call fails, protecting the Eq. 1
+// accuracy counters from double grading.
+func (m *Manager) MarkGraded(taskID string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.records[taskID]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownTask, taskID)
+	}
+	if r.Status != Completed {
+		return fmt.Errorf("%w: grade %q while %v", ErrBadState, taskID, r.Status)
+	}
+	if r.Graded {
+		return fmt.Errorf("%w: %q already graded", ErrBadState, taskID)
+	}
+	r.Graded = true
+	return nil
+}
+
+// ForgetTerminatedBefore drops every completed or expired task whose
+// terminal instant precedes cutoff, returning how many were removed. A
+// long-running server calls this periodically to bound registry memory;
+// REACT's own components never read terminal records after the requester
+// has been notified.
+func (m *Manager) ForgetTerminatedBefore(cutoff time.Time) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	removed := 0
+	for id, r := range m.records {
+		if r.Status != Completed && r.Status != Expired {
+			continue
+		}
+		if r.FinishedAt.Before(cutoff) {
+			m.counts[r.Status]--
+			delete(m.records, id)
+			removed++
+		}
+	}
+	return removed
+}
+
+func (m *Manager) transition(r *Record, to Status) {
+	m.counts[r.Status]--
+	m.counts[to]++
+	r.Status = to
+}
+
+// MetDeadline reports whether a completed record finished at or before its
+// deadline.
+func (r Record) MetDeadline() bool {
+	return r.Status == Completed && !r.FinishedAt.After(r.Task.Deadline)
+}
+
+// ExecTime is ExecTime_ij: assignment to completion, 0 for non-terminal or
+// never-assigned records.
+func (r Record) ExecTime() time.Duration {
+	if r.FinishedAt.IsZero() || r.AssignedAt.IsZero() {
+		return 0
+	}
+	return r.FinishedAt.Sub(r.AssignedAt)
+}
+
+// TotalTime is the requester-visible latency: submission to completion.
+func (r Record) TotalTime() time.Duration {
+	if r.FinishedAt.IsZero() {
+		return 0
+	}
+	return r.FinishedAt.Sub(r.Task.Submitted)
+}

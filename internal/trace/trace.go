@@ -1,0 +1,205 @@
+// Package trace records per-task lifecycle events during simulation runs:
+// submission, each (re)assignment, revocation, completion, expiry. The
+// experiments attach a Recorder to answer questions the aggregate counters
+// cannot — how long tasks queued before first assignment, how reassignment
+// chains distribute, which phase lost each missed deadline — and export the
+// raw timeline as CSV for external analysis.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Kind classifies a lifecycle event.
+type Kind int
+
+// Lifecycle events in causal order.
+const (
+	Submitted Kind = iota
+	Assigned
+	Revoked // Eq. 2 monitor or worker departure returned the task
+	Completed
+	Expired
+)
+
+// String names the kind for CSV output.
+func (k Kind) String() string {
+	switch k {
+	case Submitted:
+		return "submitted"
+	case Assigned:
+		return "assigned"
+	case Revoked:
+		return "revoked"
+	case Completed:
+		return "completed"
+	case Expired:
+		return "expired"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one lifecycle step of one task.
+type Event struct {
+	Task   string
+	Kind   Kind
+	At     time.Time
+	Worker string // assigned/revoked/completed: the worker involved
+	Late   bool   // completed: the completion missed the task's deadline
+}
+
+// Recorder accumulates events. Safe for concurrent use; events are kept in
+// arrival order, which under the deterministic engine is time order.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Record appends one event.
+func (r *Recorder) Record(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, e)
+}
+
+// Len reports the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Events returns a copy of the timeline.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// WriteCSV emits "task,kind,at_unix_ms,worker" rows in arrival order.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	for _, e := range r.Events() {
+		if _, err := fmt.Fprintf(w, "%s,%s,%d,%s\n",
+			e.Task, e.Kind, e.At.UnixMilli(), e.Worker); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Lifecycle summarizes one task's journey.
+type Lifecycle struct {
+	Task          string
+	Submitted     time.Time
+	FirstAssigned time.Time // zero if never assigned
+	Finished      time.Time // completion or expiry instant (zero if still open)
+	FinalWorker   string
+	Attempts      int  // assignments granted
+	Revocations   int  // assignments taken back
+	Done          bool // reached completed/expired
+	Expired       bool
+	Late          bool // completed after the deadline
+}
+
+// QueueWait is submission → first assignment (0 when never assigned).
+func (l Lifecycle) QueueWait() time.Duration {
+	if l.FirstAssigned.IsZero() {
+		return 0
+	}
+	return l.FirstAssigned.Sub(l.Submitted)
+}
+
+// Lifecycles folds the timeline into one summary per task, sorted by task
+// ID.
+func (r *Recorder) Lifecycles() []Lifecycle {
+	byTask := map[string]*Lifecycle{}
+	for _, e := range r.Events() {
+		l := byTask[e.Task]
+		if l == nil {
+			l = &Lifecycle{Task: e.Task}
+			byTask[e.Task] = l
+		}
+		switch e.Kind {
+		case Submitted:
+			l.Submitted = e.At
+		case Assigned:
+			if l.FirstAssigned.IsZero() {
+				l.FirstAssigned = e.At
+			}
+			l.Attempts++
+			l.FinalWorker = e.Worker
+		case Revoked:
+			l.Revocations++
+		case Completed:
+			l.Finished = e.At
+			l.Done = true
+			l.FinalWorker = e.Worker
+			l.Late = e.Late
+		case Expired:
+			l.Finished = e.At
+			l.Done = true
+			l.Expired = true
+		}
+	}
+	out := make([]Lifecycle, 0, len(byTask))
+	for _, l := range byTask {
+		out = append(out, *l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Task < out[j].Task })
+	return out
+}
+
+// Summary aggregates the timeline.
+type Summary struct {
+	Tasks         int
+	Completed     int
+	Expired       int
+	Open          int
+	NeverAssigned int // expired without any worker ever holding them
+	MeanQueueWait time.Duration
+	MaxAttempts   int
+	TotalRevoked  int
+}
+
+// Summarize folds the lifecycles into counts.
+func (r *Recorder) Summarize() Summary {
+	var s Summary
+	var waitSum time.Duration
+	waited := 0
+	for _, l := range r.Lifecycles() {
+		s.Tasks++
+		switch {
+		case !l.Done:
+			s.Open++
+		case l.Expired:
+			s.Expired++
+			if l.Attempts == 0 {
+				s.NeverAssigned++
+			}
+		default:
+			s.Completed++
+		}
+		if w := l.QueueWait(); w > 0 || l.Attempts > 0 {
+			waitSum += w
+			waited++
+		}
+		if l.Attempts > s.MaxAttempts {
+			s.MaxAttempts = l.Attempts
+		}
+		s.TotalRevoked += l.Revocations
+	}
+	if waited > 0 {
+		s.MeanQueueWait = waitSum / time.Duration(waited)
+	}
+	return s
+}

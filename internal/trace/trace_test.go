@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"react/internal/clock"
+)
+
+func at(d time.Duration) time.Time { return clock.Epoch.Add(d) }
+
+// record a typical reassignment story: t1 submitted, assigned to w1,
+// revoked, assigned to w2, completed.
+func storyRecorder() *Recorder {
+	r := NewRecorder()
+	r.Record(Event{Task: "t1", Kind: Submitted, At: at(0)})
+	r.Record(Event{Task: "t1", Kind: Assigned, At: at(2 * time.Second), Worker: "w1"})
+	r.Record(Event{Task: "t1", Kind: Revoked, At: at(40 * time.Second), Worker: "w1"})
+	r.Record(Event{Task: "t1", Kind: Assigned, At: at(41 * time.Second), Worker: "w2"})
+	r.Record(Event{Task: "t1", Kind: Completed, At: at(50 * time.Second), Worker: "w2"})
+	r.Record(Event{Task: "t2", Kind: Submitted, At: at(time.Second)})
+	r.Record(Event{Task: "t2", Kind: Expired, At: at(90 * time.Second)})
+	r.Record(Event{Task: "t3", Kind: Submitted, At: at(5 * time.Second)})
+	return r
+}
+
+func TestLifecycleReconstruction(t *testing.T) {
+	r := storyRecorder()
+	ls := r.Lifecycles()
+	if len(ls) != 3 {
+		t.Fatalf("lifecycles = %d", len(ls))
+	}
+	t1 := ls[0]
+	if t1.Task != "t1" || t1.Attempts != 2 || t1.Revocations != 1 ||
+		!t1.Done || t1.Expired || t1.FinalWorker != "w2" {
+		t.Fatalf("t1 = %+v", t1)
+	}
+	if t1.QueueWait() != 2*time.Second {
+		t.Fatalf("t1 queue wait = %v", t1.QueueWait())
+	}
+	if !t1.Finished.Equal(at(50 * time.Second)) {
+		t.Fatalf("t1 finished = %v", t1.Finished)
+	}
+	t2 := ls[1]
+	if !t2.Expired || t2.Attempts != 0 || t2.QueueWait() != 0 {
+		t.Fatalf("t2 = %+v", t2)
+	}
+	t3 := ls[2]
+	if t3.Done {
+		t.Fatalf("t3 should be open: %+v", t3)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := storyRecorder().Summarize()
+	if s.Tasks != 3 || s.Completed != 1 || s.Expired != 1 || s.Open != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.NeverAssigned != 1 || s.MaxAttempts != 2 || s.TotalRevoked != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.MeanQueueWait != 2*time.Second {
+		t.Fatalf("mean queue wait = %v", s.MeanQueueWait)
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	var b strings.Builder
+	if err := storyRecorder().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 8 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "t1,submitted,") {
+		t.Fatalf("first line = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "revoked") || !strings.HasSuffix(lines[2], ",w1") {
+		t.Fatalf("revoke line = %q", lines[2])
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		Submitted: "submitted", Assigned: "assigned", Revoked: "revoked",
+		Completed: "completed", Expired: "expired", Kind(42): "kind(42)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q", int(k), got)
+		}
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Record(Event{Task: "t", Kind: Assigned, At: at(time.Duration(i))})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Len() != 1600 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if ls := r.Lifecycles(); len(ls) != 1 || ls[0].Attempts != 1600 {
+		t.Fatalf("lifecycles = %+v", ls)
+	}
+}
+
+func TestEmptyRecorder(t *testing.T) {
+	r := NewRecorder()
+	if r.Len() != 0 || len(r.Lifecycles()) != 0 {
+		t.Fatal("empty recorder not empty")
+	}
+	s := r.Summarize()
+	if s.Tasks != 0 || s.MeanQueueWait != 0 {
+		t.Fatalf("summary = %+v", s)
+	}
+}

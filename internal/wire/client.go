@@ -1,0 +1,201 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Client is one connection to a REACT region server. A single client can
+// act as a worker (Register, then drain Assignments and Complete), as a
+// requester (Submit, Watch, drain Results, Feedback), or both. All methods
+// are safe for concurrent use; requests are serialized on the wire.
+type Client struct {
+	c   net.Conn
+	enc *json.Encoder
+
+	reqMu sync.Mutex // one outstanding request at a time
+	resp  chan Message
+
+	assignments chan AssignmentPayload
+	results     chan ResultPayload
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// Dial connects to a region server.
+func Dial(addr string) (*Client, error) {
+	c, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	cl := &Client{
+		c:           c,
+		enc:         json.NewEncoder(c),
+		resp:        make(chan Message, 1),
+		assignments: make(chan AssignmentPayload, 32),
+		results:     make(chan ResultPayload, 128),
+		closed:      make(chan struct{}),
+	}
+	go cl.readLoop()
+	return cl, nil
+}
+
+// Close tears down the connection; pending calls fail with ErrClosed.
+func (cl *Client) Close() error {
+	cl.closeOnce.Do(func() { close(cl.closed); cl.c.Close() })
+	return nil
+}
+
+func (cl *Client) readLoop() {
+	scanner := bufio.NewScanner(cl.c)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for scanner.Scan() {
+		var m Message
+		if err := json.Unmarshal(scanner.Bytes(), &m); err != nil {
+			continue // tolerate junk; the next frame resynchronizes
+		}
+		switch m.Type {
+		case "assignment":
+			if m.Assignment != nil {
+				select {
+				case cl.assignments <- *m.Assignment:
+				default: // drop rather than wedge the reader
+				}
+			}
+		case "result":
+			if m.Result != nil {
+				select {
+				case cl.results <- *m.Result:
+				default:
+				}
+			}
+		default: // ok / error responses
+			select {
+			case cl.resp <- m:
+			default:
+			}
+		}
+	}
+	cl.Close()
+	close(cl.assignments)
+	close(cl.results)
+}
+
+// call sends one request and waits for its ok/error response.
+func (cl *Client) call(m Message) (Message, error) {
+	cl.reqMu.Lock()
+	defer cl.reqMu.Unlock()
+	select {
+	case <-cl.closed:
+		return Message{}, ErrClosed
+	default:
+	}
+	if err := cl.enc.Encode(m); err != nil {
+		return Message{}, err
+	}
+	select {
+	case resp := <-cl.resp:
+		if resp.Type == "error" {
+			return resp, fmt.Errorf("wire: %s", resp.Error)
+		}
+		return resp, nil
+	case <-cl.closed:
+		return Message{}, ErrClosed
+	case <-time.After(30 * time.Second):
+		return Message{}, fmt.Errorf("wire: timeout waiting for response to %q", m.Type)
+	}
+}
+
+// Register announces this connection as a worker at the given location.
+// Assignments then arrive on Assignments().
+func (cl *Client) Register(workerID string, lat, lon float64) error {
+	_, err := cl.call(Message{Type: "register", Worker: workerID, Lat: lat, Lon: lon})
+	return err
+}
+
+// Assignments is the stream of tasks pushed to this worker. Closed when
+// the connection drops.
+func (cl *Client) Assignments() <-chan AssignmentPayload { return cl.assignments }
+
+// Deregister removes this connection's worker from the server. Any held
+// task returns to the pool.
+func (cl *Client) Deregister() error {
+	_, err := cl.call(Message{Type: "deregister"})
+	return err
+}
+
+// SetLocation updates this worker's location (mobile workers move between
+// regions' weight ranges).
+func (cl *Client) SetLocation(lat, lon float64) error {
+	_, err := cl.call(Message{Type: "location", Lat: lat, Lon: lon})
+	return err
+}
+
+// SetAvailable toggles this worker's willingness to receive assignments
+// without dropping the connection (connectivity cycles, §I).
+func (cl *Client) SetAvailable(v bool) error {
+	_, err := cl.call(Message{Type: "available", Available: &v})
+	return err
+}
+
+// Submit places a task. DeadlineMS is relative to server receipt.
+func (cl *Client) Submit(t TaskPayload) error {
+	_, err := cl.call(Message{Type: "submit", Task: &t})
+	return err
+}
+
+// Complete reports this worker's answer for a held task.
+func (cl *Client) Complete(taskID, workerID, answer string) error {
+	_, err := cl.call(Message{Type: "complete", TaskID: taskID, Worker: workerID, Answer: answer})
+	return err
+}
+
+// Feedback records the requester's verdict for a completed task.
+func (cl *Client) Feedback(taskID string, positive bool) error {
+	_, err := cl.call(Message{Type: "feedback", TaskID: taskID, Positive: &positive})
+	return err
+}
+
+// Watch subscribes this connection to all task results; they arrive on
+// Results().
+func (cl *Client) Watch() error {
+	_, err := cl.call(Message{Type: "watch"})
+	return err
+}
+
+// Results is the stream of result pushes after Watch. Closed when the
+// connection drops.
+func (cl *Client) Results() <-chan ResultPayload { return cl.results }
+
+// Ping round-trips a keepalive frame.
+func (cl *Client) Ping() error {
+	_, err := cl.call(Message{Type: "ping"})
+	return err
+}
+
+// Regions fetches per-region counters; single-region servers report one
+// entry named "all".
+func (cl *Client) Regions() ([]RegionStatsPayload, error) {
+	resp, err := cl.call(Message{Type: "regions"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Regions, nil
+}
+
+// Stats fetches the server counters.
+func (cl *Client) Stats() (StatsPayload, error) {
+	resp, err := cl.call(Message{Type: "stats"})
+	if err != nil {
+		return StatsPayload{}, err
+	}
+	if resp.Stats == nil {
+		return StatsPayload{}, fmt.Errorf("wire: stats response missing payload")
+	}
+	return *resp.Stats, nil
+}

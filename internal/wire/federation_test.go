@@ -1,0 +1,176 @@
+package wire
+
+import (
+	"testing"
+	"time"
+
+	"react/internal/core"
+	"react/internal/federation"
+	"react/internal/region"
+	"react/internal/schedule"
+)
+
+// startFederation serves a 2×2 multi-region coordinator over TCP.
+func startFederation(t *testing.T) (*Server, *federation.Coordinator) {
+	t.Helper()
+	grid, err := region.NewGrid(region.Rect{MinLat: 0, MinLon: 0, MaxLat: 4, MaxLon: 4}, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var relay ResultRelay
+	coord := federation.New(grid, func(regionID string) *core.Server {
+		return core.New(core.Options{
+			BatchPoll:     5 * time.Millisecond,
+			MonitorPeriod: 50 * time.Millisecond,
+			Schedule:      schedule.Config{BatchBound: 1, BatchPeriod: 10 * time.Millisecond},
+			OnResult:      relay.Publish,
+		})
+	})
+	s, err := ServeBackend("127.0.0.1:0", coord, &relay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, coord
+}
+
+func TestFederationOverTCP(t *testing.T) {
+	s, coord := startFederation(t)
+
+	// Two workers in different regions.
+	sw := dial(t, s)
+	if err := sw.Register("southwest", 0.5, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	ne := dial(t, s)
+	if err := ne.Register("northeast", 3.5, 3.5); err != nil {
+		t.Fatal(err)
+	}
+
+	req := dial(t, s)
+	if err := req.Watch(); err != nil {
+		t.Fatal(err)
+	}
+	// A task in the northeast region must go to the northeast worker.
+	task := TaskPayload{ID: "t-ne", Lat: 3.6, Lon: 3.6, DeadlineMS: 60_000, Category: "traffic"}
+	if err := req.Submit(task); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case a := <-ne.Assignments():
+		if a.TaskID != "t-ne" {
+			t.Fatalf("assignment = %+v", a)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("northeast assignment never arrived")
+	}
+	select {
+	case a := <-sw.Assignments():
+		t.Fatalf("southwest worker received foreign task %+v", a)
+	case <-time.After(200 * time.Millisecond):
+	}
+	if err := ne.Complete("t-ne", "northeast", "clear roads"); err != nil {
+		t.Fatal(err)
+	}
+	// Result pushes flow from the region server through the relay.
+	select {
+	case r := <-req.Results():
+		if r.TaskID != "t-ne" || !r.MetDeadline {
+			t.Fatalf("result = %+v", r)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("result never arrived")
+	}
+	if err := req.Feedback("t-ne", true); err != nil {
+		t.Fatal(err)
+	}
+
+	// Aggregated stats over the wire cover both regions.
+	st, err := req.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Received != 1 || st.Completed != 1 || st.WorkersOnline != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if got := len(coord.Regions()); got != 2 {
+		t.Fatalf("regions = %d", got)
+	}
+}
+
+func TestFederationDisconnectAndReconnect(t *testing.T) {
+	s, _ := startFederation(t)
+	w := dial(t, s)
+	if err := w.Register("roamer", 0.5, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	req := dial(t, s)
+	req.Submit(TaskPayload{ID: "t1", Lat: 0.6, Lon: 0.6, DeadlineMS: 60_000, Category: "traffic"})
+	select {
+	case a := <-w.Assignments():
+		w.Complete(a.TaskID, "roamer", "ok")
+		req.Feedback("t1", true)
+	case <-time.After(5 * time.Second):
+		t.Fatal("assignment never arrived")
+	}
+	w.Close()
+	// Reconnect in the same region: history survives.
+	deadline := time.Now().Add(2 * time.Second)
+	var ok bool
+	for time.Now().Before(deadline) {
+		w2 := dial(t, s)
+		if err := w2.Register("roamer", 0.7, 0.7); err == nil {
+			st, _ := w2.Stats()
+			if st.WorkersOnline >= 1 {
+				ok = true
+			}
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !ok {
+		t.Fatal("reconnect into federation failed")
+	}
+}
+
+func TestRegionsOverWire(t *testing.T) {
+	s, _ := startFederation(t)
+	c := dial(t, s)
+	// Activate two regions.
+	if err := c.Register("sw", 0.5, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	c2 := dial(t, s)
+	if err := c2.Register("ne", 3.5, 3.5); err != nil {
+		t.Fatal(err)
+	}
+	regions, err := c.Regions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regions) != 2 {
+		t.Fatalf("regions = %+v", regions)
+	}
+	if regions[0].Region >= regions[1].Region {
+		t.Fatalf("regions not sorted: %q, %q", regions[0].Region, regions[1].Region)
+	}
+	var online int
+	for _, r := range regions {
+		online += r.Stats.WorkersOnline
+	}
+	if online != 2 {
+		t.Fatalf("workers across regions = %d", online)
+	}
+}
+
+func TestRegionsSingleServer(t *testing.T) {
+	s := startServer(t)
+	c := dial(t, s)
+	regions, err := c.Regions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regions) != 1 || regions[0].Region != "all" {
+		t.Fatalf("regions = %+v", regions)
+	}
+}

@@ -1,0 +1,45 @@
+package wire
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// FuzzMessageDecode exercises the protocol decoder with arbitrary bytes:
+// whatever arrives, decoding must not panic, and any message that decodes
+// must re-encode and materialize payloads without panicking — the server's
+// read loop depends on that totality.
+func FuzzMessageDecode(f *testing.F) {
+	seeds := []string{
+		`{"type":"register","worker":"alice","lat":37.98,"lon":23.73}`,
+		`{"type":"submit","task":{"id":"t1","deadline_ms":60000,"category":"traffic"}}`,
+		`{"type":"complete","task_id":"t1","worker":"alice","answer":"yes"}`,
+		`{"type":"feedback","task_id":"t1","positive":true}`,
+		`{"type":"assignment","assignment":{"task_id":"t1","worker_id":"alice","deadline_ms":-5}}`,
+		`{"type":"result","result":{"task_id":"t1","met_deadline":true}}`,
+		`{"type":"stats"}`,
+		`{"type":"watch"}`,
+		`{}`,
+		`{"type":"submit","task":{"id":"","deadline_ms":-9223372036854775808}}`,
+		`not json at all`,
+		`{"type":`,
+		`{"type":"submit","task":{"deadline_ms":1e309}}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m Message
+		if err := json.Unmarshal(data, &m); err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if _, err := json.Marshal(m); err != nil {
+			t.Fatalf("decoded message failed to re-encode: %v", err)
+		}
+		if m.Task != nil {
+			task := m.Task.Task(time.Now())
+			_ = task.Deadline // arbitrary DeadlineMS must not panic
+		}
+	})
+}

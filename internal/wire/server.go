@@ -1,0 +1,383 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"react/internal/core"
+	"react/internal/profile"
+	"react/internal/region"
+	"react/internal/taskq"
+)
+
+// Backend is the middleware surface the TCP transport serves: implemented
+// by *core.Server (one region) and *federation.Coordinator (a fleet of
+// region servers routed by geography).
+type Backend interface {
+	RegisterWorker(id string, loc region.Point) (<-chan core.Assignment, error)
+	ReconnectWorker(id string) (<-chan core.Assignment, error)
+	DeregisterWorker(id string) error
+	DetachWorker(id string) error
+	Worker(id string) (*profile.Profile, bool)
+	Submit(t taskq.Task) error
+	Complete(taskID, workerID, answer string) (core.Result, error)
+	Feedback(taskID string, positive bool) error
+	Stats() core.Stats
+	Stop()
+}
+
+// ResultRelay forwards backend results to a transport installed later —
+// the backend is constructed (with its OnResult hook) before the transport
+// exists. Install relay.Publish as the backend's result hook, then hand the
+// relay to ServeBackend.
+type ResultRelay struct {
+	mu sync.Mutex
+	fn func(core.Result)
+}
+
+// Publish forwards a result to the attached transport (drops it when none
+// is attached yet).
+func (r *ResultRelay) Publish(res core.Result) {
+	r.mu.Lock()
+	fn := r.fn
+	r.mu.Unlock()
+	if fn != nil {
+		fn(res)
+	}
+}
+
+func (r *ResultRelay) attach(fn func(core.Result)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fn = fn
+}
+
+// Server exposes a Backend over TCP.
+type Server struct {
+	backend Backend
+	core    *core.Server // non-nil only for single-region Serve
+	ln      net.Listener
+
+	mu       sync.Mutex
+	watchers map[*conn]struct{}
+	conns    map[*conn]struct{}
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+type conn struct {
+	c      net.Conn
+	enc    *json.Encoder
+	wmu    sync.Mutex
+	worker string // non-empty once registered
+	srv    *Server
+}
+
+// Serve starts a region server listening on addr (e.g. "127.0.0.1:7341" or
+// ":0" for an ephemeral port). The core server is constructed from opts
+// with its result hook wired to watcher broadcast, and started.
+func Serve(addr string, opts core.Options) (*Server, error) {
+	var relay ResultRelay
+	userHook := opts.OnResult
+	opts.OnResult = func(r core.Result) {
+		if userHook != nil {
+			userHook(r)
+		}
+		relay.Publish(r)
+	}
+	cs := core.New(opts)
+	cs.Start()
+	s, err := ServeBackend(addr, cs, &relay)
+	if err != nil {
+		cs.Stop()
+		return nil, err
+	}
+	s.core = cs
+	return s, nil
+}
+
+// ServeBackend exposes an already-running backend (e.g. a federation
+// coordinator) on addr. The relay must be the one whose Publish the caller
+// installed as the backend's result hook; pass nil when no result pushes
+// are needed.
+func ServeBackend(addr string, b Backend, relay *ResultRelay) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		backend:  b,
+		watchers: make(map[*conn]struct{}),
+		conns:    make(map[*conn]struct{}),
+	}
+	if relay != nil {
+		relay.attach(func(r core.Result) {
+			s.broadcast(Message{Type: "result", Result: toResultPayload(r)})
+		})
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr reports the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Core exposes the underlying region server for single-region deployments
+// created with Serve; it is nil under ServeBackend.
+func (s *Server) Core() *core.Server { return s.core }
+
+// Backend exposes the middleware this transport serves.
+func (s *Server) Backend() Backend { return s.backend }
+
+// Close stops accepting, drops every connection, and stops the core server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		c.c.Close()
+	}
+	s.wg.Wait()
+	s.backend.Stop()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c := &conn{c: nc, enc: json.NewEncoder(nc), srv: s}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go c.readLoop()
+	}
+}
+
+func (s *Server) broadcast(m Message) {
+	s.mu.Lock()
+	targets := make([]*conn, 0, len(s.watchers))
+	for c := range s.watchers {
+		targets = append(targets, c)
+	}
+	s.mu.Unlock()
+	for _, c := range targets {
+		c.send(m) // send errors detach the conn via its read loop
+	}
+}
+
+func (c *conn) send(m Message) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.c.SetWriteDeadline(time.Now().Add(10 * time.Second))
+	return c.enc.Encode(m)
+}
+
+func (c *conn) reply(err error) {
+	if err != nil {
+		c.send(Message{Type: "error", Error: err.Error()})
+		return
+	}
+	c.send(Message{Type: "ok"})
+}
+
+func (c *conn) readLoop() {
+	defer c.srv.wg.Done()
+	defer c.teardown()
+	scanner := bufio.NewScanner(c.c)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for scanner.Scan() {
+		var m Message
+		if err := json.Unmarshal(scanner.Bytes(), &m); err != nil {
+			c.send(Message{Type: "error", Error: "bad message: " + err.Error()})
+			continue
+		}
+		c.handle(m)
+	}
+}
+
+func (c *conn) handle(m Message) {
+	s := c.srv
+	switch m.Type {
+	case "register":
+		if m.Worker == "" {
+			c.reply(errors.New("register: missing worker id"))
+			return
+		}
+		feed, err := s.backend.RegisterWorker(m.Worker, region.Point{Lat: m.Lat, Lon: m.Lon})
+		if errors.Is(err, profile.ErrDuplicateWorker) {
+			// A worker restored from a profile snapshot (or one whose old
+			// connection died without teardown) reconnects under its id and
+			// keeps its learned history; a second *live* connection is
+			// still rejected by ReconnectWorker.
+			feed, err = s.backend.ReconnectWorker(m.Worker)
+			if err == nil {
+				if p, ok := s.backend.Worker(m.Worker); ok {
+					if loc := (region.Point{Lat: m.Lat, Lon: m.Lon}); loc.Valid() {
+						p.SetLocation(loc)
+					}
+				}
+			}
+		}
+		if err != nil {
+			c.reply(err)
+			return
+		}
+		c.worker = m.Worker
+		c.reply(nil)
+		// Forward assignments until the feed closes (deregistration or
+		// server stop).
+		go func() {
+			for a := range feed {
+				if err := c.send(Message{Type: "assignment", Assignment: toAssignmentPayload(a, time.Now())}); err != nil {
+					c.c.Close()
+					return
+				}
+			}
+		}()
+
+	case "deregister":
+		if c.worker == "" {
+			c.reply(errors.New("deregister: connection has no registered worker"))
+			return
+		}
+		worker := c.worker
+		c.worker = "" // teardown must not deregister twice
+		c.reply(s.backend.DeregisterWorker(worker))
+
+	case "location":
+		p, ok := s.backend.Worker(c.worker)
+		if c.worker == "" || !ok {
+			c.reply(errors.New("location: connection has no registered worker"))
+			return
+		}
+		loc := region.Point{Lat: m.Lat, Lon: m.Lon}
+		if !loc.Valid() {
+			c.reply(fmt.Errorf("location: invalid coordinates %v", loc))
+			return
+		}
+		p.SetLocation(loc)
+		c.reply(nil)
+
+	case "available":
+		p, ok := s.backend.Worker(c.worker)
+		if c.worker == "" || !ok {
+			c.reply(errors.New("available: connection has no registered worker"))
+			return
+		}
+		if m.Available == nil {
+			c.reply(errors.New("available: missing value"))
+			return
+		}
+		p.SetAvailable(*m.Available)
+		c.reply(nil)
+
+	case "submit":
+		if m.Task == nil || m.Task.ID == "" {
+			c.reply(errors.New("submit: missing task"))
+			return
+		}
+		c.reply(s.backend.Submit(m.Task.Task(time.Now())))
+
+	case "complete":
+		if m.TaskID == "" || m.Worker == "" {
+			c.reply(errors.New("complete: missing task or worker id"))
+			return
+		}
+		_, err := s.backend.Complete(m.TaskID, m.Worker, m.Answer)
+		c.reply(err)
+
+	case "feedback":
+		if m.TaskID == "" || m.Positive == nil {
+			c.reply(errors.New("feedback: missing task id or verdict"))
+			return
+		}
+		c.reply(s.backend.Feedback(m.TaskID, *m.Positive))
+
+	case "watch":
+		s.mu.Lock()
+		s.watchers[c] = struct{}{}
+		s.mu.Unlock()
+		c.reply(nil)
+
+	case "regions":
+		// Multi-region backends list per-region counters; a single-region
+		// server reports itself as "all".
+		type regionLister interface {
+			Regions() []string
+			RegionStats(string) (core.Stats, bool)
+		}
+		var regions []RegionStatsPayload
+		if rl, ok := s.backend.(regionLister); ok {
+			ids := rl.Regions()
+			sort.Strings(ids)
+			for _, id := range ids {
+				if st, ok := rl.RegionStats(id); ok {
+					regions = append(regions, RegionStatsPayload{Region: id, Stats: *toStatsPayload(st)})
+				}
+			}
+		} else {
+			regions = []RegionStatsPayload{{Region: "all", Stats: *toStatsPayload(s.backend.Stats())}}
+		}
+		c.send(Message{Type: "ok", Regions: regions})
+
+	case "ping":
+		// Keepalive: lets clients detect dead connections through NATs and
+		// lets operators probe liveness with netcat.
+		c.reply(nil)
+
+	case "stats":
+		c.send(Message{Type: "ok", Stats: toStatsPayload(s.backend.Stats())})
+
+	default:
+		c.reply(errors.New("unknown message type " + m.Type))
+	}
+}
+
+func (c *conn) teardown() {
+	s := c.srv
+	s.mu.Lock()
+	delete(s.watchers, c)
+	delete(s.conns, c)
+	closed := s.closed
+	s.mu.Unlock()
+	c.c.Close()
+	if c.worker != "" && !closed {
+		// A vanished worker's held task goes back to the pool; the profile
+		// survives the disconnect so a later register reconnects with its
+		// learned history intact.
+		s.backend.DetachWorker(c.worker)
+	}
+}
+
+// ErrClosed is returned by client operations after Close.
+var ErrClosed = errors.New("wire: connection closed")
+
+var _ io.Closer = (*Server)(nil)

@@ -1,0 +1,150 @@
+// Package wire deploys a REACT region server over TCP, standing in for the
+// paper's PlanetLab deployment: requesters and workers connect from
+// anywhere, speak newline-delimited JSON, and the server pushes assignments
+// to registered workers and results to watching requesters. cmd/reactd
+// hosts the server; cmd/reactctl and the examples use the client.
+//
+// Protocol: each line is one Message. Clients send requests
+// (register/submit/complete/feedback/watch/stats); the server answers every
+// request with exactly one "ok" or "error" message, in order, and may
+// interleave asynchronous "assignment" and "result" pushes at any time.
+package wire
+
+import (
+	"time"
+
+	"react/internal/core"
+	"react/internal/region"
+	"react/internal/taskq"
+)
+
+// Message is the single frame type of the protocol; Type selects which
+// fields are meaningful.
+type Message struct {
+	Type string `json:"type"` // request: register|deregister|location|available|
+	// submit|complete|feedback|watch|stats — response: ok|error — push:
+	// assignment|result
+
+	// register / deregister / location / available
+	Worker    string  `json:"worker,omitempty"`
+	Lat       float64 `json:"lat,omitempty"`
+	Lon       float64 `json:"lon,omitempty"`
+	Available *bool   `json:"available,omitempty"`
+
+	// submit
+	Task *TaskPayload `json:"task,omitempty"`
+
+	// complete / feedback
+	TaskID   string `json:"task_id,omitempty"`
+	Answer   string `json:"answer,omitempty"`
+	Positive *bool  `json:"positive,omitempty"`
+
+	// error
+	Error string `json:"error,omitempty"`
+
+	// pushes and stats responses
+	Assignment *AssignmentPayload   `json:"assignment,omitempty"`
+	Result     *ResultPayload       `json:"result,omitempty"`
+	Stats      *StatsPayload        `json:"stats,omitempty"`
+	Regions    []RegionStatsPayload `json:"regions,omitempty"`
+}
+
+// RegionStatsPayload is one region's counters in a "regions" response.
+type RegionStatsPayload struct {
+	Region string       `json:"region"`
+	Stats  StatsPayload `json:"stats"`
+}
+
+// TaskPayload is the wire form of taskq.Task; the deadline travels as a
+// relative duration in milliseconds so clients need not share a clock with
+// the server.
+type TaskPayload struct {
+	ID          string  `json:"id"`
+	Lat         float64 `json:"lat"`
+	Lon         float64 `json:"lon"`
+	DeadlineMS  int64   `json:"deadline_ms"` // from server receipt
+	Reward      float64 `json:"reward"`
+	Category    string  `json:"category"`
+	Description string  `json:"description"`
+}
+
+// Task materializes the payload against the server clock.
+func (p TaskPayload) Task(now time.Time) taskq.Task {
+	return taskq.Task{
+		ID:          p.ID,
+		Location:    region.Point{Lat: p.Lat, Lon: p.Lon},
+		Deadline:    now.Add(time.Duration(p.DeadlineMS) * time.Millisecond),
+		Reward:      p.Reward,
+		Category:    p.Category,
+		Description: p.Description,
+	}
+}
+
+// AssignmentPayload is the wire form of core.Assignment.
+type AssignmentPayload struct {
+	TaskID      string  `json:"task_id"`
+	WorkerID    string  `json:"worker_id"`
+	Category    string  `json:"category"`
+	Description string  `json:"description"`
+	Lat         float64 `json:"lat"`
+	Lon         float64 `json:"lon"`
+	DeadlineMS  int64   `json:"deadline_ms"` // remaining at push time
+	Reward      float64 `json:"reward"`
+}
+
+func toAssignmentPayload(a core.Assignment, now time.Time) *AssignmentPayload {
+	return &AssignmentPayload{
+		TaskID:      a.TaskID,
+		WorkerID:    a.WorkerID,
+		Category:    a.Category,
+		Description: a.Description,
+		Lat:         a.Location.Lat,
+		Lon:         a.Location.Lon,
+		DeadlineMS:  int64(time.Until(a.Deadline) / time.Millisecond),
+		Reward:      a.Reward,
+	}
+}
+
+// ResultPayload is the wire form of core.Result.
+type ResultPayload struct {
+	TaskID      string `json:"task_id"`
+	WorkerID    string `json:"worker_id,omitempty"`
+	Answer      string `json:"answer,omitempty"`
+	MetDeadline bool   `json:"met_deadline"`
+	Expired     bool   `json:"expired"`
+}
+
+func toResultPayload(r core.Result) *ResultPayload {
+	return &ResultPayload{
+		TaskID:      r.TaskID,
+		WorkerID:    r.WorkerID,
+		Answer:      r.Answer,
+		MetDeadline: r.MetDeadline,
+		Expired:     r.Expired,
+	}
+}
+
+// StatsPayload is the wire form of core.Stats.
+type StatsPayload struct {
+	Received      int64 `json:"received"`
+	Assigned      int64 `json:"assigned"`
+	Completed     int64 `json:"completed"`
+	OnTime        int64 `json:"on_time"`
+	Expired       int64 `json:"expired"`
+	Reassigned    int64 `json:"reassigned"`
+	Batches       int64 `json:"batches"`
+	WorkersOnline int   `json:"workers_online"`
+}
+
+func toStatsPayload(s core.Stats) *StatsPayload {
+	return &StatsPayload{
+		Received:      s.Received,
+		Assigned:      s.Assigned,
+		Completed:     s.Completed,
+		OnTime:        s.OnTime,
+		Expired:       s.Expired,
+		Reassigned:    s.Reassigned,
+		Batches:       s.Batches,
+		WorkersOnline: s.WorkersOnline,
+	}
+}
