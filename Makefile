@@ -1,0 +1,42 @@
+# The same commands CI runs (.github/workflows/ci.yml), runnable locally.
+
+GO ?= go
+# Packages with real goroutine concurrency; the race detector gates them
+# on every change.
+RACE_PKGS = ./internal/core ./internal/wire ./internal/federation ./internal/taskq
+
+.PHONY: all build lint vet test race determinism ci
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# reactlint is the project-specific suite (docs/LINTING.md): clock
+# discipline, seeded randomness, lock hygiene, goroutine lifecycle,
+# dropped errors, print-debugging. Exits non-zero on any finding.
+lint: vet
+	$(GO) run ./cmd/reactlint ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+# Two same-seed simulation runs must produce byte-identical reports —
+# the reproducibility property the linter exists to protect. Figures
+# 3/4 are excluded: they measure real matcher wall time by design.
+determinism:
+	$(GO) build -o /tmp/reactsim-determinism ./cmd/reactsim
+	@for fig in 5 6 7 8 9 10; do \
+		/tmp/reactsim-determinism -fig $$fig -quick -seed 7 > /tmp/reactsim-det-a || exit 1; \
+		/tmp/reactsim-determinism -fig $$fig -quick -seed 7 > /tmp/reactsim-det-b || exit 1; \
+		cmp /tmp/reactsim-det-a /tmp/reactsim-det-b || { echo "fig $$fig NOT deterministic"; exit 1; }; \
+		echo "fig $$fig: byte-identical"; \
+	done
+
+ci: build lint test race determinism

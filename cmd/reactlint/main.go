@@ -1,0 +1,94 @@
+// Command reactlint runs REACT's project-specific static-analysis
+// suite over the module: clock discipline, seeded randomness, lock
+// hygiene, goroutine lifecycle, dropped errors, and print-debugging.
+// These are the invariants that keep the simulation deterministic and
+// the deployed middleware shut-downable; see docs/LINTING.md.
+//
+// Usage:
+//
+//	reactlint ./...                  # lint the module containing the cwd
+//	reactlint path/to/module         # lint another module root
+//	reactlint -json ./...            # machine-readable findings
+//	reactlint -list                  # describe the analyzers
+//	reactlint -disable errdrop ./... # per-analyzer switches
+//
+// Exit status: 0 when clean, 1 when findings were reported, 2 on a
+// usage or load error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"react/internal/lint"
+)
+
+func main() {
+	var (
+		jsonOut = flag.Bool("json", false, "emit findings as JSON")
+		enable  = flag.String("enable", "", "comma-separated analyzers to run (default: all)")
+		disable = flag.String("disable", "", "comma-separated analyzers to skip")
+		list    = flag.Bool("list", false, "list analyzers and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.DefaultAnalyzers() {
+			fmt.Printf("%-16s %s\n", a.Name(), a.Doc())
+		}
+		return
+	}
+
+	analyzers, err := lint.Select(splitList(*enable), splitList(*disable))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	root := "."
+	if args := flag.Args(); len(args) > 0 {
+		// "./..." is the go-tool idiom for "this module"; any other
+		// argument names a module root directly.
+		if args[0] != "./..." && args[0] != "..." {
+			root = strings.TrimSuffix(args[0], "/...")
+		}
+	}
+	mod, err := lint.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	findings := (&lint.Runner{Analyzers: analyzers}).Run(mod)
+	if *jsonOut {
+		if err := lint.NewReport(mod, findings).WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+		if n := len(findings); n > 0 {
+			fmt.Fprintf(os.Stderr, "reactlint: %d finding(s)\n", n)
+		}
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

@@ -17,11 +17,25 @@ type Clock interface {
 	Now() time.Time
 }
 
+// Sleeper is a Clock that can also block the caller for a duration.
+// Wall-clock drivers (internal/loadgen) pace themselves through it so
+// that even real-time code has a single, injectable timebase — and so
+// reactlint's clockdiscipline analyzer can forbid raw time.Sleep
+// everywhere else.
+type Sleeper interface {
+	Clock
+	// Sleep pauses the caller for d on this clock's timebase.
+	Sleep(d time.Duration)
+}
+
 // System is the ambient wall clock. The zero value is ready to use.
 type System struct{}
 
 // Now returns time.Now.
 func (System) Now() time.Time { return time.Now() }
+
+// Sleep blocks for d of real time.
+func (System) Sleep(d time.Duration) { time.Sleep(d) }
 
 // Virtual is a manually advanced clock. It only moves when Advance or Set is
 // called, which the simulation engine does as it pops events. The zero value
@@ -58,6 +72,10 @@ func (v *Virtual) Advance(d time.Duration) time.Time {
 	}
 	return v.now
 }
+
+// Sleep advances the virtual clock by d without blocking: under
+// simulation, "waiting" is just time moving.
+func (v *Virtual) Sleep(d time.Duration) { v.Advance(d) }
 
 // Set jumps the clock to t if t is not before the current instant.
 // It reports whether the jump was applied.

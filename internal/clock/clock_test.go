@@ -105,4 +105,27 @@ func TestVirtualConcurrentAdvance(t *testing.T) {
 func TestClockInterfaceSatisfied(t *testing.T) {
 	var _ Clock = System{}
 	var _ Clock = (*Virtual)(nil)
+	var _ Sleeper = System{}
+	var _ Sleeper = (*Virtual)(nil)
+}
+
+func TestVirtualSleepAdvancesWithoutBlocking(t *testing.T) {
+	v := NewVirtual(Epoch)
+	v.Sleep(2 * time.Hour) // must return immediately
+	if want := Epoch.Add(2 * time.Hour); !v.Now().Equal(want) {
+		t.Fatalf("after Sleep(2h) Now() = %v, want %v", v.Now(), want)
+	}
+	v.Sleep(-time.Hour)
+	if want := Epoch.Add(2 * time.Hour); !v.Now().Equal(want) {
+		t.Fatalf("negative Sleep moved the clock to %v", v.Now())
+	}
+}
+
+func TestSystemSleepBlocks(t *testing.T) {
+	var c System
+	before := c.Now()
+	c.Sleep(10 * time.Millisecond)
+	if elapsed := c.Now().Sub(before); elapsed < 10*time.Millisecond {
+		t.Fatalf("Sleep(10ms) returned after %v", elapsed)
+	}
 }

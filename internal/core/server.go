@@ -367,6 +367,7 @@ func (s *Server) ReconnectWorker(id string) (<-chan Assignment, error) {
 // and expires overdue unassigned tasks.
 func (s *Server) batchLoop() {
 	defer s.wg.Done()
+	//lint:ignore clockdiscipline the ticker only paces polling; every scheduling decision reads the injected opts.Clock
 	ticker := time.NewTicker(s.opts.BatchPoll)
 	defer ticker.Stop()
 	for {
@@ -471,6 +472,7 @@ func (s *Server) runBatch(now time.Time) {
 // monitorLoop runs the Eq. 2 sweep.
 func (s *Server) monitorLoop() {
 	defer s.wg.Done()
+	//lint:ignore clockdiscipline the ticker only paces the sweep; Eq. 2 itself reads the injected opts.Clock
 	ticker := time.NewTicker(s.opts.MonitorPeriod)
 	defer ticker.Stop()
 	for {

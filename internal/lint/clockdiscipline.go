@@ -1,0 +1,75 @@
+package lint
+
+import "go/ast"
+
+// ClockDiscipline forbids direct use of the wall clock outside the
+// packages that are allowed to own it. Every scheduling decision in
+// REACT must flow through an injected clock.Clock so the discrete-event
+// simulator can drive the exact same code under virtual time — that is
+// the property that makes the paper's figures regenerate byte-for-byte.
+// A single stray time.Now() in a hot path silently re-couples the
+// system to the machine it runs on.
+//
+// Test files are exempt: tests legitimately bound their own wall-clock
+// runtime (time.After watchdogs) without touching scheduling logic.
+type ClockDiscipline struct {
+	// Allow lists module-relative directory prefixes where wall-clock
+	// calls are permitted. Nil means DefaultClockAllow.
+	Allow []string
+}
+
+// DefaultClockAllow is the sanctioned wall-clock surface: the clock
+// package itself (it wraps time.Now), the wire transport (network I/O
+// deadlines are inherently wall-clock), and the binaries and examples
+// that run against real deployments.
+var DefaultClockAllow = []string{"internal/clock", "internal/wire", "cmd", "examples"}
+
+// forbiddenTimeFuncs are the time package entry points that read or
+// wait on the wall clock. Constructors like time.Date and pure
+// arithmetic (t.Add, t.Sub) are fine — they are clock-free.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Tick":      true,
+	"Since":     true,
+	"Until":     true,
+}
+
+func (ClockDiscipline) Name() string { return "clockdiscipline" }
+func (ClockDiscipline) Doc() string {
+	return "forbid wall-clock time.* calls outside internal/clock, internal/wire, cmd/, examples/"
+}
+
+func (c ClockDiscipline) Run(p *Pass) {
+	allow := c.Allow
+	if allow == nil {
+		allow = DefaultClockAllow
+	}
+	if underAny(p.Pkg.RelPath, allow) {
+		return
+	}
+	eachSourceFile(p.Pkg, false, func(f *File) {
+		timeName, ok := importLocalName(f.AST, "time")
+		if !ok {
+			return
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || id.Name != timeName || !forbiddenTimeFuncs[sel.Sel.Name] {
+				return true
+			}
+			p.Reportf(c.Name(), sel.Pos(),
+				"time.%s couples this package to the wall clock; take a clock.Clock (internal/clock) instead",
+				sel.Sel.Name)
+			return true
+		})
+	})
+}

@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ErrDrop flags statements that call a package-level function of this
+// module and silently discard its error result: a bare `pkg.Fn()` (or
+// same-package `Fn()`) expression statement, or the same inside go /
+// defer. An explicit `_ = pkg.Fn()` stays legal — it is greppable and
+// states intent.
+//
+// The set of error-returning functions comes from the module-wide
+// signature index, so the analyzer is exact for this module's own API
+// without needing export data. Methods are out of scope (receiver types
+// are not resolvable syntactically); the analyzer documents that
+// narrowness rather than guessing.
+type ErrDrop struct{}
+
+func (ErrDrop) Name() string { return "errdrop" }
+func (ErrDrop) Doc() string {
+	return "flag bare calls that discard an error returned by a function in this module"
+}
+
+func (e ErrDrop) Run(p *Pass) {
+	eachSourceFile(p.Pkg, true, func(f *File) {
+		// Map local import names to module-internal import paths.
+		modImports := make(map[string]string)
+		for _, imp := range f.AST.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if !strings.HasPrefix(path+"/", modulePrefix(p.Pkg)) {
+				continue
+			}
+			if name, ok := importLocalName(f.AST, path); ok {
+				modImports[name] = path
+			}
+		}
+		check := func(call *ast.CallExpr) {
+			pkgPath, fnName, ok := resolveCall(call, p.Pkg.Path, modImports)
+			if !ok || !p.Index.FuncReturnsError(pkgPath, fnName) {
+				return
+			}
+			p.Reportf(e.Name(), call.Pos(),
+				"%s returns an error that is silently discarded; handle it or assign `_ =` to state intent",
+				fnName)
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					check(call)
+				}
+			case *ast.GoStmt:
+				check(n.Call)
+			case *ast.DeferStmt:
+				check(n.Call)
+			}
+			return true
+		})
+	})
+}
+
+// modulePrefix returns the module path of the package's module with a
+// trailing slash, for prefix-matching import paths.
+func modulePrefix(pkg *Package) string {
+	mod := pkg.Path
+	if pkg.RelPath != "" {
+		mod = strings.TrimSuffix(mod, "/"+pkg.RelPath)
+	}
+	return mod + "/"
+}
+
+// resolveCall maps a call expression to (import path, function name)
+// when it targets a package-level function: a plain identifier resolves
+// to the current package, pkg.Fn to a module-internal import.
+func resolveCall(call *ast.CallExpr, selfPath string, modImports map[string]string) (string, string, bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return selfPath, fun.Name, true
+	case *ast.SelectorExpr:
+		id, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return "", "", false
+		}
+		if path, ok := modImports[id.Name]; ok {
+			return path, fun.Sel.Name, true
+		}
+	}
+	return "", "", false
+}

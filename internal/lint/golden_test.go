@@ -1,0 +1,63 @@
+package lint_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"testing"
+
+	"react/internal/lint"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the JSON golden file")
+
+// TestJSONGolden pins the -json output schema byte-for-byte. The golden
+// file is the contract CI tooling parses; regenerate deliberately with
+//
+//	go test ./internal/lint -run JSONGolden -update
+func TestJSONGolden(t *testing.T) {
+	mod, findings := loadFixtureForGolden(t)
+	var buf bytes.Buffer
+	if err := lint.NewReport(mod, findings).WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+
+	const goldenPath = "testdata/golden.json"
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("JSON output drifted from golden file\n got:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestJSONEmptyFindings ensures a clean run marshals findings as an
+// empty array, never null — consumers index into it unconditionally.
+func TestJSONEmptyFindings(t *testing.T) {
+	mod, _ := loadFixtureForGolden(t)
+	var buf bytes.Buffer
+	if err := lint.NewReport(mod, nil).WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"findings": []`)) {
+		t.Errorf("empty report does not marshal findings as []:\n%s", buf.Bytes())
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"count": 0`)) {
+		t.Errorf("empty report count != 0:\n%s", buf.Bytes())
+	}
+}
+
+func loadFixtureForGolden(t *testing.T) (*lint.Module, []lint.Finding) {
+	t.Helper()
+	mod, err := lint.LoadModule("testdata/module")
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	return mod, (&lint.Runner{}).Run(mod)
+}

@@ -1,0 +1,62 @@
+package lint
+
+import "go/ast"
+
+// Index is the module-wide signature table: for every package-level
+// function declared in this module, whether any of its results is an
+// error. It is what lets errdrop work cross-package without
+// type-checking against compiled export data — the whole module's
+// source is already in memory, so the declarations are authoritative.
+//
+// Methods are deliberately excluded: resolving a receiver's type
+// syntactically is guesswork (the same method name can return error on
+// one type and nothing on another), and a determinism linter must not
+// produce nondeterministic confidence.
+type Index struct {
+	// returnsError maps import path → function name → true when the
+	// function's results include an error.
+	returnsError map[string]map[string]bool
+}
+
+// FuncReturnsError reports whether the package-level function name in
+// the package with the given import path is declared in this module
+// with an error result.
+func (ix *Index) FuncReturnsError(pkgPath, name string) bool {
+	if ix == nil {
+		return false
+	}
+	return ix.returnsError[pkgPath][name]
+}
+
+func buildIndex(mod *Module) *Index {
+	ix := &Index{returnsError: make(map[string]map[string]bool)}
+	for _, pkg := range mod.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.AST.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Recv != nil || fn.Type.Results == nil {
+					continue
+				}
+				if !resultsIncludeError(fn.Type.Results) {
+					continue
+				}
+				m := ix.returnsError[pkg.Path]
+				if m == nil {
+					m = make(map[string]bool)
+					ix.returnsError[pkg.Path] = m
+				}
+				m[fn.Name.Name] = true
+			}
+		}
+	}
+	return ix
+}
+
+func resultsIncludeError(results *ast.FieldList) bool {
+	for _, field := range results.List {
+		if id, ok := field.Type.(*ast.Ident); ok && id.Name == "error" {
+			return true
+		}
+	}
+	return false
+}

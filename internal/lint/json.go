@@ -1,0 +1,30 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Report is the machine-readable result of a run — the schema behind
+// reactlint -json. Count is redundant with len(Findings) but makes the
+// common "how many" query a one-field read for CI tooling.
+type Report struct {
+	Module   string    `json:"module"`
+	Count    int       `json:"count"`
+	Findings []Finding `json:"findings"`
+}
+
+// NewReport assembles the JSON report for a finished run.
+func NewReport(mod *Module, findings []Finding) Report {
+	if findings == nil {
+		findings = []Finding{} // marshal as [], never null
+	}
+	return Report{Module: mod.Path, Count: len(findings), Findings: findings}
+}
+
+// WriteJSON emits the report, indented, with a trailing newline.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,239 @@
+// Package lint is REACT's project-specific static-analysis suite. The
+// paper's headline numbers (deadline-miss ratios, matcher wall-time
+// bounds) are reproducible only because the simulation substrate is
+// deterministic: every component takes an injected clock.Clock and an
+// explicitly seeded *rand.Rand. Nothing in the language enforces that
+// discipline, so this package does — it walks the module with go/parser
+// and go/ast (no go/packages, no export data, no network) and runs a
+// pluggable set of analyzers that machine-check the invariants the
+// figures depend on: clock discipline, seeded randomness, lock hygiene,
+// tracked goroutines, handled errors, and structured logging.
+//
+// The driver is deliberately syntactic. It parses every package in the
+// module, builds a module-wide function-signature index (so errdrop
+// knows which react functions return errors without type-checking
+// against export data), and runs each analyzer over each package in
+// parallel, one goroutine per package. Findings are deterministic:
+// sorted by file, line, column, analyzer.
+//
+// Findings can be suppressed in source with
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on the offending line or the line directly above it. The reason is
+// mandatory — a suppression without one is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Analyzer is one pluggable check. Implementations must be safe for
+// concurrent use: Run is invoked from one goroutine per package.
+type Analyzer interface {
+	// Name is the identifier used in findings, suppression comments,
+	// and the -enable/-disable flags.
+	Name() string
+	// Doc is a one-line description of what the analyzer enforces.
+	Doc() string
+	// Run inspects one package and reports findings through the pass.
+	Run(p *Pass)
+}
+
+// Finding is one reported violation.
+type Finding struct {
+	File     string `json:"file"` // module-relative path
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// String renders the finding in the tool's text format.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d [%s] %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// Pass carries everything an analyzer needs to inspect one package.
+type Pass struct {
+	Pkg   *Package
+	Index *Index // module-wide signature index
+
+	mu       sync.Mutex
+	findings []Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(name string, pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.findings = append(p.findings, Finding{
+		File:     p.Pkg.relFile(position.Filename),
+		Line:     position.Line,
+		Col:      position.Column,
+		Analyzer: name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Runner loads a module and applies a set of analyzers to it.
+type Runner struct {
+	Analyzers []Analyzer
+}
+
+// DefaultAnalyzers returns the full REACT suite in its canonical order.
+func DefaultAnalyzers() []Analyzer {
+	return []Analyzer{
+		ClockDiscipline{},
+		SeededRand{},
+		LockHygiene{},
+		NakedGoroutine{},
+		ErrDrop{},
+		PrintfDebug{},
+	}
+}
+
+// Select filters names against the full suite: enable keeps only the
+// named analyzers (empty means all), disable then removes names. An
+// unknown name is an error so typos fail loudly.
+func Select(enable, disable []string) ([]Analyzer, error) {
+	all := DefaultAnalyzers()
+	known := make(map[string]Analyzer, len(all))
+	for _, a := range all {
+		known[a.Name()] = a
+	}
+	for _, n := range append(append([]string{}, enable...), disable...) {
+		if _, ok := known[n]; !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		}
+	}
+	keep := make(map[string]bool, len(all))
+	if len(enable) == 0 {
+		for n := range known {
+			keep[n] = true
+		}
+	}
+	for _, n := range enable {
+		keep[n] = true
+	}
+	for _, n := range disable {
+		keep[n] = false
+	}
+	var out []Analyzer
+	for _, a := range all {
+		if keep[a.Name()] {
+			out = append(out, a)
+		}
+	}
+	return out, nil
+}
+
+// Run analyzes every package, applies suppressions, and returns the
+// surviving findings sorted by position. Malformed suppression comments
+// are reported as findings of the pseudo-analyzer "lint".
+func (r *Runner) Run(mod *Module) []Finding {
+	analyzers := r.Analyzers
+	if analyzers == nil {
+		analyzers = DefaultAnalyzers()
+	}
+
+	var (
+		wg  sync.WaitGroup
+		mu  sync.Mutex
+		out []Finding
+	)
+	for _, pkg := range mod.Packages {
+		wg.Add(1)
+		go func(pkg *Package) {
+			defer wg.Done()
+			pass := &Pass{Pkg: pkg, Index: mod.Index}
+			for _, a := range analyzers {
+				a.Run(pass)
+			}
+			sup := suppressionsFor(pkg)
+			kept := pass.findings[:0]
+			for _, f := range pass.findings {
+				if !sup.covers(f) {
+					kept = append(kept, f)
+				}
+			}
+			kept = append(kept, sup.malformed...)
+			mu.Lock()
+			out = append(out, kept...)
+			mu.Unlock()
+		}(pkg)
+	}
+	wg.Wait()
+
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// inInternal reports whether the package lives under internal/ — the
+// production middleware where the strictest analyzers apply.
+func inInternal(rel string) bool {
+	return rel == "internal" || strings.HasPrefix(rel, "internal/")
+}
+
+// underAny reports whether rel equals or lives under one of the prefixes.
+func underAny(rel string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if rel == p || strings.HasPrefix(rel, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// eachSourceFile visits the package's files, optionally skipping tests.
+func eachSourceFile(pkg *Package, includeTests bool, fn func(f *File)) {
+	for _, f := range pkg.Files {
+		if f.Test && !includeTests {
+			continue
+		}
+		fn(f)
+	}
+}
+
+// importLocalName returns the identifier by which the import path is
+// referenced in f: the declared alias, else the path's base name. The
+// second result is false when the file does not import path (or imports
+// it blank or with a dot, which selector-based analyzers cannot track).
+func importLocalName(f *ast.File, path string) (string, bool) {
+	for _, imp := range f.Imports {
+		p := strings.Trim(imp.Path.Value, `"`)
+		if p != path {
+			continue
+		}
+		if imp.Name != nil {
+			n := imp.Name.Name
+			if n == "_" || n == "." {
+				return "", false
+			}
+			return n, true
+		}
+		if i := strings.LastIndex(p, "/"); i >= 0 {
+			p = p[i+1:]
+		}
+		return p, true
+	}
+	return "", false
+}

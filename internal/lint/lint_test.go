@@ -1,0 +1,169 @@
+package lint_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"react/internal/lint"
+)
+
+// loadFixture runs the full suite over the fixture module once per
+// test; LoadModule is cheap enough (a dozen tiny files) that tests stay
+// independent.
+func loadFixture(t *testing.T) (*lint.Module, []lint.Finding) {
+	t.Helper()
+	mod, err := lint.LoadModule("testdata/module")
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	if mod.Path != "fixmod" {
+		t.Fatalf("module path = %q, want fixmod", mod.Path)
+	}
+	runner := &lint.Runner{}
+	return mod, runner.Run(mod)
+}
+
+// byAnalyzer keys each finding as "file:line" under its analyzer.
+func byAnalyzer(findings []lint.Finding) map[string][]string {
+	out := make(map[string][]string)
+	for _, f := range findings {
+		out[f.Analyzer] = append(out[f.Analyzer], fmt.Sprintf("%s:%d", f.File, f.Line))
+	}
+	return out
+}
+
+// TestAnalyzersOnFixtures is the table-driven contract for every
+// analyzer: exactly these findings, at these lines, and nothing else.
+func TestAnalyzersOnFixtures(t *testing.T) {
+	_, findings := loadFixture(t)
+	got := byAnalyzer(findings)
+
+	want := map[string][]string{
+		"clockdiscipline": {
+			"internal/clockbad/clockbad.go:8",
+			"internal/clockbad/clockbad.go:9",
+			"internal/clockbad/clockbad.go:10",
+			"internal/clockbad/clockbad.go:11",
+			"internal/suppressed/suppressed.go:26",
+			"internal/suppressed/suppressed.go:33",
+		},
+		"seededrand": {
+			"internal/randbad/randbad.go:8",
+			"internal/randbad/randbad.go:9",
+			"internal/randbad/randbad.go:10",
+			"internal/randbad/randbad.go:10",
+		},
+		"lockhygiene": {
+			"internal/locks/locks.go:28",
+			"internal/locks/locks.go:34",
+			"internal/locks/locks.go:51",
+			"internal/locks/locks.go:56",
+		},
+		"nakedgoroutine": {
+			"internal/spawn/spawn.go:27",
+		},
+		"errdrop": {
+			"internal/errs/errs.go:17",
+			"internal/errs/errs.go:18",
+			"internal/errs/errs.go:19",
+			"internal/errsuse/errsuse.go:9",
+		},
+		"printfdebug": {
+			"internal/printy/printy.go:11",
+			"internal/printy/printy.go:12",
+		},
+		"lint": {
+			"internal/suppressed/suppressed.go:32",
+		},
+	}
+
+	for analyzer, wantSites := range want {
+		t.Run(analyzer, func(t *testing.T) {
+			gotSites := append([]string{}, got[analyzer]...)
+			sort.Strings(gotSites)
+			wantSorted := append([]string{}, wantSites...)
+			sort.Strings(wantSorted)
+			if fmt.Sprint(gotSites) != fmt.Sprint(wantSorted) {
+				t.Errorf("findings mismatch\n got: %v\nwant: %v", gotSites, wantSorted)
+			}
+		})
+	}
+	for analyzer := range got {
+		if _, ok := want[analyzer]; !ok {
+			t.Errorf("unexpected findings from analyzer %q: %v", analyzer, got[analyzer])
+		}
+	}
+}
+
+// TestDeterministicOutput runs the suite twice and requires identical
+// ordered findings — the same property the linter polices in REACT.
+func TestDeterministicOutput(t *testing.T) {
+	_, first := loadFixture(t)
+	_, second := loadFixture(t)
+	if fmt.Sprint(first) != fmt.Sprint(second) {
+		t.Fatalf("two runs disagree:\n%v\n%v", first, second)
+	}
+	for i := 1; i < len(first); i++ {
+		a, b := first[i-1], first[i]
+		if a.File > b.File || (a.File == b.File && a.Line > b.Line) {
+			t.Fatalf("findings not sorted: %v before %v", a, b)
+		}
+	}
+}
+
+// TestSelect covers the per-analyzer enable/disable switches.
+func TestSelect(t *testing.T) {
+	mod, _ := loadFixture(t)
+
+	only, err := lint.Select([]string{"seededrand"}, nil)
+	if err != nil {
+		t.Fatalf("Select(enable): %v", err)
+	}
+	findings := (&lint.Runner{Analyzers: only}).Run(mod)
+	for _, f := range findings {
+		// The malformed-suppression pseudo-finding is driver-level and
+		// always on; everything else must be seededrand.
+		if f.Analyzer != "seededrand" && f.Analyzer != "lint" {
+			t.Errorf("enable=seededrand leaked %v", f)
+		}
+	}
+	if n := len(byAnalyzer(findings)["seededrand"]); n != 4 {
+		t.Errorf("seededrand findings = %d, want 4", n)
+	}
+
+	most, err := lint.Select(nil, []string{"errdrop", "printfdebug"})
+	if err != nil {
+		t.Fatalf("Select(disable): %v", err)
+	}
+	got := byAnalyzer((&lint.Runner{Analyzers: most}).Run(mod))
+	if len(got["errdrop"]) != 0 || len(got["printfdebug"]) != 0 {
+		t.Errorf("disabled analyzers still reported: %v", got)
+	}
+	if len(got["clockdiscipline"]) == 0 {
+		t.Errorf("non-disabled analyzer went silent")
+	}
+
+	if _, err := lint.Select([]string{"nosuch"}, nil); err == nil {
+		t.Errorf("Select accepted unknown analyzer name")
+	}
+}
+
+// TestFindingString pins the text output format the Makefile and CI
+// grep against.
+func TestFindingString(t *testing.T) {
+	f := lint.Finding{File: "internal/x/y.go", Line: 3, Col: 7, Analyzer: "clockdiscipline", Message: "msg"}
+	if got, want := f.String(), "internal/x/y.go:3:7 [clockdiscipline] msg"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// TestLoadModuleErrors covers the non-module and missing-root paths.
+func TestLoadModuleErrors(t *testing.T) {
+	if _, err := lint.LoadModule("testdata"); err == nil {
+		t.Errorf("LoadModule on a directory without go.mod succeeded")
+	}
+	if _, err := lint.LoadModule("testdata/definitely-missing"); err == nil {
+		t.Errorf("LoadModule on a missing directory succeeded")
+	}
+}

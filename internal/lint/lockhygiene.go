@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockHygiene checks two things on every function in the module:
+//
+//  1. Every mu.Lock()/mu.RLock() is matched: either a defer
+//     mu.Unlock()/mu.RUnlock() exists in the same function, or a plain
+//     unlock follows with no return statement between the lock and that
+//     unlock. A return inside the critical section is how the server
+//     loops deadlock under churn — the exact bug class the race
+//     detector only catches when the schedule cooperates.
+//  2. sync.Mutex / sync.RWMutex never cross a function boundary by
+//     value (parameters or results); a copied mutex guards nothing.
+//
+// The check is syntactic: lock receivers are compared by their printed
+// expression (s.mu, reg.lock, ...), which is exact for the field- and
+// variable-shaped receivers used throughout this module.
+type LockHygiene struct{}
+
+func (LockHygiene) Name() string { return "lockhygiene" }
+func (LockHygiene) Doc() string {
+	return "require defer-paired or return-free Lock/Unlock and forbid mutexes passed by value"
+}
+
+type lockSite struct {
+	key  string // printed receiver expression
+	op   string // "Lock" or "RLock"
+	pos  token.Pos
+	node ast.Node
+}
+
+var unlockFor = map[string]string{"Lock": "Unlock", "RLock": "RUnlock"}
+
+func (l LockHygiene) Run(p *Pass) {
+	eachSourceFile(p.Pkg, true, func(f *File) {
+		syncName, hasSync := importLocalName(f.AST, "sync")
+		for _, decl := range f.AST.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if hasSync {
+				l.checkValueMutex(p, fn.Type, syncName)
+			}
+			if fn.Body != nil {
+				l.checkBody(p, fn.Body)
+			}
+		}
+	})
+}
+
+// checkValueMutex flags sync.Mutex / sync.RWMutex appearing by value in
+// a signature.
+func (l LockHygiene) checkValueMutex(p *Pass, ft *ast.FuncType, syncName string) {
+	check := func(list *ast.FieldList) {
+		if list == nil {
+			return
+		}
+		for _, field := range list.List {
+			sel, ok := field.Type.(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || id.Name != syncName {
+				continue
+			}
+			if sel.Sel.Name == "Mutex" || sel.Sel.Name == "RWMutex" {
+				p.Reportf(l.Name(), field.Pos(),
+					"sync.%s passed by value; a copied mutex guards nothing — pass a pointer",
+					sel.Sel.Name)
+			}
+		}
+	}
+	check(ft.Params)
+	check(ft.Results)
+}
+
+// checkBody pairs every lock in the function (including nested
+// literals) with its unlock.
+func (l LockHygiene) checkBody(p *Pass, body *ast.BlockStmt) {
+	var (
+		locks    []lockSite
+		plain    = map[string][]token.Pos{} // key+op → unlock positions
+		deferred = map[string]bool{}        // key+op present as defer
+		returns  []token.Pos
+	)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			returns = append(returns, n.Pos())
+		case *ast.ExprStmt:
+			if key, op, ok := lockCall(n.X); ok {
+				switch op {
+				case "Lock", "RLock":
+					locks = append(locks, lockSite{key: key, op: op, pos: n.Pos(), node: n})
+				case "Unlock", "RUnlock":
+					plain[key+"."+op] = append(plain[key+"."+op], n.Pos())
+				}
+			}
+		case *ast.DeferStmt:
+			if key, op, ok := lockCall(n.Call); ok && (op == "Unlock" || op == "RUnlock") {
+				deferred[key+"."+op] = true
+			}
+		}
+		return true
+	})
+
+	for _, lk := range locks {
+		want := lk.key + "." + unlockFor[lk.op]
+		if deferred[want] {
+			continue
+		}
+		unlocks := plain[want]
+		first := token.Pos(-1)
+		for _, up := range unlocks {
+			if up > lk.pos && (first < 0 || up < first) {
+				first = up
+			}
+		}
+		if first < 0 {
+			p.Reportf(l.Name(), lk.pos,
+				"%s.%s() has no matching %s in this function; add defer %s.%s()",
+				lk.key, lk.op, unlockFor[lk.op], lk.key, unlockFor[lk.op])
+			continue
+		}
+		for _, rp := range returns {
+			if rp > lk.pos && rp < first {
+				p.Reportf(l.Name(), lk.pos,
+					"return between %s.%s() and %s.%s() leaves the lock held on that path; use defer",
+					lk.key, lk.op, lk.key, unlockFor[lk.op])
+				break
+			}
+		}
+	}
+}
+
+// lockCall decomposes expr as a no-argument method call recv.Op() where
+// Op is one of the mutex operations, returning the printed receiver.
+func lockCall(expr ast.Expr) (key, op string, ok bool) {
+	call, isCall := expr.(*ast.CallExpr)
+	if !isCall || len(call.Args) != 0 {
+		return "", "", false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return types.ExprString(sel.X), sel.Sel.Name, true
+	}
+	return "", "", false
+}

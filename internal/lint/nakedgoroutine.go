@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// NakedGoroutine flags `go func(){...}()` launches in internal/
+// packages that show no lifecycle signal: nothing ties the goroutine to
+// a sync.WaitGroup and nothing in scope suggests a done/stop channel or
+// context. Untracked goroutines are what turn Server.Stop into a
+// best-effort flush — the north-star deployment must drain cleanly
+// under SIGTERM, and the race stress tests only mean something if every
+// spawned goroutine provably terminates.
+//
+// The check is a heuristic over the literal's body and arguments; a
+// goroutine whose lifetime is bounded some other way (for example, it
+// ranges over a channel the server closes) documents that with a
+// //lint:ignore nakedgoroutine <reason>.
+type NakedGoroutine struct{}
+
+func (NakedGoroutine) Name() string { return "nakedgoroutine" }
+func (NakedGoroutine) Doc() string {
+	return "flag go func(){...}() in internal/ with no WaitGroup, done/stop channel, or context"
+}
+
+// lifecycleNames are identifier substrings treated as shutdown signals.
+var lifecycleNames = []string{"done", "stop", "quit", "ctx", "cancel", "wg", "wait"}
+
+func (g NakedGoroutine) Run(p *Pass) {
+	if !inInternal(p.Pkg.RelPath) {
+		return
+	}
+	eachSourceFile(p.Pkg, false, func(f *File) {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := stmt.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true // named funcs/methods manage their own lifecycle contract
+			}
+			if goroutineHasLifecycleSignal(lit, stmt.Call.Args) {
+				return true
+			}
+			p.Reportf(g.Name(), stmt.Pos(),
+				"goroutine has no visible lifecycle: track it with a sync.WaitGroup or give it a done/ctx signal")
+			return true
+		})
+	})
+}
+
+// goroutineHasLifecycleSignal scans the literal and its call arguments
+// for evidence the goroutine is tracked or stoppable.
+func goroutineHasLifecycleSignal(lit *ast.FuncLit, args []ast.Expr) bool {
+	found := false
+	inspect := func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// wg.Done() / wg.Add(1) on any receiver counts as tracking.
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if sel.Sel.Name == "Done" || sel.Sel.Name == "Add" {
+					found = true
+					return false
+				}
+			}
+		case *ast.Ident:
+			lower := strings.ToLower(n.Name)
+			for _, sig := range lifecycleNames {
+				if strings.Contains(lower, sig) {
+					found = true
+					return false
+				}
+			}
+		case *ast.SelectorExpr:
+			lower := strings.ToLower(n.Sel.Name)
+			for _, sig := range lifecycleNames {
+				if strings.Contains(lower, sig) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(lit, inspect)
+	for _, a := range args {
+		ast.Inspect(a, inspect)
+	}
+	return found
+}

@@ -1,0 +1,68 @@
+package lint
+
+import "go/ast"
+
+// SeededRand forbids the top-level math/rand functions, which draw from
+// the package-global generator. Global state means two call sites share
+// one stream: adding a draw anywhere reorders every draw after it, so a
+// refactor in one package silently changes another package's
+// "deterministic" results. All randomness must come from an explicitly
+// seeded *rand.Rand threaded through configuration, the way
+// sim.Engine.Rand and the matchers' Rand fields already do.
+//
+// Applies everywhere, tests included — a test that draws from the
+// global stream is exactly as order-sensitive as production code.
+type SeededRand struct{}
+
+// forbiddenRandFuncs are the math/rand package-level draws. The
+// constructors (New, NewSource, NewZipf) are the sanctioned road.
+var forbiddenRandFuncs = map[string]bool{
+	"Int":         true,
+	"Intn":        true,
+	"Int31":       true,
+	"Int31n":      true,
+	"Int63":       true,
+	"Int63n":      true,
+	"Uint32":      true,
+	"Uint64":      true,
+	"Float32":     true,
+	"Float64":     true,
+	"ExpFloat64":  true,
+	"NormFloat64": true,
+	"Perm":        true,
+	"Shuffle":     true,
+	"Read":        true,
+	"Seed":        true,
+}
+
+func (SeededRand) Name() string { return "seededrand" }
+func (SeededRand) Doc() string {
+	return "forbid global math/rand draws; require an explicitly seeded *rand.Rand"
+}
+
+func (s SeededRand) Run(p *Pass) {
+	eachSourceFile(p.Pkg, true, func(f *File) {
+		randName, ok := importLocalName(f.AST, "math/rand")
+		if !ok {
+			return
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || id.Name != randName || !forbiddenRandFuncs[sel.Sel.Name] {
+				return true
+			}
+			p.Reportf(s.Name(), call.Pos(),
+				"rand.%s draws from the shared global stream; use a seeded *rand.Rand (rand.New(rand.NewSource(seed)))",
+				sel.Sel.Name)
+			return true
+		})
+	})
+}

@@ -1,0 +1,86 @@
+package lint
+
+import "strings"
+
+// ignoreDirective is the comment prefix that suppresses a finding:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// The directive covers findings on its own line (trailing comment) and
+// on the line immediately below (comment-above style). <analyzer> may
+// be "*" to suppress every analyzer on that line. The reason is
+// mandatory so every suppression documents why the invariant is safe to
+// break there — a bare directive is reported as a "lint" finding.
+const ignoreDirective = "lint:ignore"
+
+type suppressionSet struct {
+	byFileLine map[string]map[int][]string // file → line → analyzers
+	malformed  []Finding
+}
+
+// covers reports whether the finding is silenced by a directive on its
+// line or the line above.
+func (s suppressionSet) covers(f Finding) bool {
+	lines := s.byFileLine[f.File]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{f.Line, f.Line - 1} {
+		for _, name := range lines[line] {
+			if name == "*" || name == f.Analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// suppressionsFor parses every comment in the package once.
+func suppressionsFor(pkg *Package) suppressionSet {
+	set := suppressionSet{byFileLine: make(map[string]map[int][]string)}
+	for _, f := range pkg.Files {
+		for _, group := range f.AST.Comments {
+			for _, c := range group.List {
+				text, ok := directiveText(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				file := pkg.relFile(pos.Filename)
+				name, reason, _ := strings.Cut(strings.TrimSpace(text), " ")
+				if name == "" || strings.TrimSpace(reason) == "" {
+					set.malformed = append(set.malformed, Finding{
+						File:     file,
+						Line:     pos.Line,
+						Col:      pos.Column,
+						Analyzer: "lint",
+						Message:  "malformed suppression: want //lint:ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				lines := set.byFileLine[file]
+				if lines == nil {
+					lines = make(map[int][]string)
+					set.byFileLine[file] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], name)
+			}
+		}
+	}
+	return set
+}
+
+// directiveText returns the payload after "lint:ignore" when the
+// comment is a suppression directive. Only line comments written
+// exactly as //lint:ignore (no space, matching staticcheck's directive
+// grammar) count.
+func directiveText(comment string) (string, bool) {
+	rest, ok := strings.CutPrefix(comment, "//"+ignoreDirective)
+	if !ok {
+		return "", false
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false // e.g. //lint:ignoreXYZ
+	}
+	return rest, true
+}

@@ -1,0 +1,53 @@
+package lint
+
+import "testing"
+
+// TestDirectiveText pins the directive grammar: the comment must start
+// with exactly //lint:ignore followed by whitespace (or nothing).
+func TestDirectiveText(t *testing.T) {
+	cases := []struct {
+		comment string
+		payload string
+		ok      bool
+	}{
+		{"//lint:ignore clockdiscipline reason here", " clockdiscipline reason here", true},
+		{"//lint:ignore * any analyzer", " * any analyzer", true},
+		{"//lint:ignore", "", true}, // malformed, but recognized as a directive
+		{"//lint:ignoreXYZ not a directive", "", false},
+		{"// lint:ignore spaced out", "", false},
+		{"//lint:file-ignore other grammar", "", false},
+		{"// plain comment", "", false},
+	}
+	for _, tc := range cases {
+		payload, ok := directiveText(tc.comment)
+		if ok != tc.ok || (ok && payload != tc.payload) {
+			t.Errorf("directiveText(%q) = %q, %v; want %q, %v",
+				tc.comment, payload, ok, tc.payload, tc.ok)
+		}
+	}
+}
+
+// TestSuppressionCoverage exercises covers() line arithmetic directly:
+// same line and line-above suppress, two lines above does not, and the
+// analyzer name must match unless it is the wildcard.
+func TestSuppressionCoverage(t *testing.T) {
+	set := suppressionSet{byFileLine: map[string]map[int][]string{
+		"a.go": {10: {"clockdiscipline"}, 20: {"*"}},
+	}}
+	cases := []struct {
+		finding Finding
+		want    bool
+	}{
+		{Finding{File: "a.go", Line: 10, Analyzer: "clockdiscipline"}, true},  // same line
+		{Finding{File: "a.go", Line: 11, Analyzer: "clockdiscipline"}, true},  // line above
+		{Finding{File: "a.go", Line: 12, Analyzer: "clockdiscipline"}, false}, // too far
+		{Finding{File: "a.go", Line: 11, Analyzer: "seededrand"}, false},      // wrong analyzer
+		{Finding{File: "a.go", Line: 21, Analyzer: "seededrand"}, true},       // wildcard
+		{Finding{File: "b.go", Line: 10, Analyzer: "clockdiscipline"}, false}, // wrong file
+	}
+	for _, tc := range cases {
+		if got := set.covers(tc.finding); got != tc.want {
+			t.Errorf("covers(%+v) = %v, want %v", tc.finding, got, tc.want)
+		}
+	}
+}

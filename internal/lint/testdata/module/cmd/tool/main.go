@@ -1,0 +1,12 @@
+// Command tool shows that cmd/ binaries may use the wall clock and
+// print freely.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	fmt.Println(time.Now())
+}

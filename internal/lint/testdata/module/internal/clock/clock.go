@@ -1,0 +1,8 @@
+// Package clock is the sanctioned owner of the wall clock in the
+// fixture module — clockdiscipline must stay silent here.
+package clock
+
+import "time"
+
+// Now wraps the wall clock.
+func Now() time.Time { return time.Now() }

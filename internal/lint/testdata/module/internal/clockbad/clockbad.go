@@ -1,0 +1,15 @@
+// Package clockbad exercises the clockdiscipline analyzer.
+package clockbad
+
+import "time"
+
+// Bad calls wall-clock functions a scheduling package must not touch.
+func Bad() time.Duration {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	<-time.After(time.Millisecond)
+	return time.Since(start)
+}
+
+// Fine uses clock-free time arithmetic only.
+func Fine(t time.Time) time.Time { return t.Add(time.Second) }

@@ -1,0 +1,25 @@
+// Package errs exercises the errdrop analyzer.
+package errs
+
+import "errors"
+
+// Fail always returns an error.
+func Fail() error { return errors.New("boom") }
+
+// Value returns data plus an error.
+func Value() (int, error) { return 0, errors.New("boom") }
+
+// Pure returns no error; bare calls are fine.
+func Pure() int { return 1 }
+
+// Careless drops errors in every statement form the analyzer covers.
+func Careless() {
+	Fail()
+	go Fail()
+	defer Fail()
+	Pure()
+	_ = Fail()
+	if err := Fail(); err != nil {
+		_ = err
+	}
+}

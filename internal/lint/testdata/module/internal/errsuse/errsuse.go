@@ -1,0 +1,11 @@
+// Package errsuse exercises errdrop across package boundaries via the
+// module-wide signature index.
+package errsuse
+
+import "fixmod/internal/errs"
+
+// Cross drops an error from another package in the module.
+func Cross() {
+	errs.Fail()
+	_ = errs.Fail()
+}

@@ -1,0 +1,59 @@
+// Package locks exercises the lockhygiene analyzer.
+package locks
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// Deferred is hygienic.
+func (g *guarded) Deferred() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// Paired is hygienic: the unlock precedes every return.
+func (g *guarded) Paired() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+// Leaks never unlocks.
+func (g *guarded) Leaks() {
+	g.mu.Lock()
+	g.n++
+}
+
+// EarlyReturn leaves the lock held on the skip path.
+func (g *guarded) EarlyReturn(skip bool) {
+	g.mu.Lock()
+	if skip {
+		return
+	}
+	g.n++
+	g.mu.Unlock()
+}
+
+// ReadSide pairs RLock with RUnlock.
+func (g *guarded) ReadSide() int {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	return g.n
+}
+
+// MismatchedRead takes the read lock and never releases it.
+func (g *guarded) MismatchedRead() int {
+	g.rw.RLock()
+	return g.n
+}
+
+// ByValue copies its mutex: the callee locks a private copy.
+func ByValue(mu sync.Mutex) {
+	mu.Lock()
+	defer mu.Unlock()
+}

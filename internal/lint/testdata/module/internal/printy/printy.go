@@ -1,0 +1,16 @@
+// Package printy exercises the printfdebug analyzer.
+package printy
+
+import (
+	"fmt"
+	"log"
+)
+
+// Noisy writes straight to stdout from middleware code.
+func Noisy(v int) {
+	fmt.Println("debug", v)
+	log.Printf("debug %d", v)
+}
+
+// Formatted is fine: Sprintf is pure.
+func Formatted(v int) string { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,17 @@
+// Package randbad exercises the seededrand analyzer.
+package randbad
+
+import "math/rand"
+
+// Draw uses the forbidden global stream.
+func Draw() int {
+	rand.Seed(42)
+	rand.Shuffle(3, func(i, j int) {})
+	return rand.Intn(10) + int(rand.Int63())
+}
+
+// Seeded is the sanctioned pattern: an explicit generator.
+func Seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}

@@ -1,0 +1,32 @@
+// Package spawn exercises the nakedgoroutine analyzer.
+package spawn
+
+import "sync"
+
+// Tracked is fine: the goroutine is tied to a WaitGroup.
+func Tracked() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// Signalled is fine: the goroutine blocks on a done channel.
+func Signalled() chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		<-done
+	}()
+	return done
+}
+
+// Naked leaks a goroutine with no visible lifecycle.
+func Naked(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}

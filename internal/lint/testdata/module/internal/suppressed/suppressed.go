@@ -1,0 +1,34 @@
+// Package suppressed exercises //lint:ignore parsing.
+package suppressed
+
+import "time"
+
+// Sanctioned documents why it may read the wall clock.
+func Sanctioned() time.Time {
+	//lint:ignore clockdiscipline fixture: measures real elapsed wall time
+	return time.Now()
+}
+
+// Inline suppresses with a trailing comment on the finding line.
+func Inline() {
+	time.Sleep(time.Millisecond) //lint:ignore clockdiscipline fixture: real pacing
+}
+
+// Wildcard suppresses every analyzer on the next line.
+func Wildcard() time.Time {
+	//lint:ignore * fixture: wildcard form
+	return time.Now()
+}
+
+// Wrong names a different analyzer, so the finding survives.
+func Wrong() time.Time {
+	//lint:ignore seededrand fixture: wrong analyzer name
+	return time.Now()
+}
+
+// Bare omits the mandatory reason: the directive itself is reported and
+// the finding it meant to hide survives.
+func Bare() time.Time {
+	//lint:ignore clockdiscipline
+	return time.Now()
+}

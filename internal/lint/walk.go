@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// File is one parsed source file.
+type File struct {
+	Name string // absolute path
+	AST  *ast.File
+	Test bool // *_test.go
+}
+
+// Package is every .go file in one directory (including external test
+// packages — analyzers care about files, not package identity).
+type Package struct {
+	Dir     string // absolute directory
+	RelPath string // module-relative directory ("" for the module root)
+	Path    string // import path (module path + "/" + RelPath)
+	Fset    *token.FileSet
+	Files   []*File
+
+	modRoot string
+}
+
+// relFile rewrites an absolute filename to a module-relative one so
+// findings are stable across checkouts.
+func (p *Package) relFile(name string) string {
+	if rel, err := filepath.Rel(p.modRoot, name); err == nil {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(name)
+}
+
+// Module is a fully loaded module tree plus the cross-package index.
+type Module struct {
+	Root     string // directory containing go.mod
+	Path     string // module path from go.mod
+	Packages []*Package
+	Index    *Index
+}
+
+// LoadModule walks the module rooted at root (the directory containing
+// go.mod), parses every package directory, and builds the signature
+// index. Directories named testdata or vendor, and hidden or
+// underscore-prefixed directories, are skipped — the same pruning rule
+// the go tool applies — so lint fixtures never leak into a real run.
+func LoadModule(root string) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	byDir := make(map[string]*Package)
+	walkErr := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path == root {
+				return nil
+			}
+			if name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			return nil
+		}
+		ast, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("lint: %w", err)
+		}
+		dir := filepath.Dir(path)
+		pkg := byDir[dir]
+		if pkg == nil {
+			rel, err := filepath.Rel(root, dir)
+			if err != nil {
+				return err
+			}
+			rel = filepath.ToSlash(rel)
+			if rel == "." {
+				rel = ""
+			}
+			impPath := modPath
+			if rel != "" {
+				impPath = modPath + "/" + rel
+			}
+			pkg = &Package{Dir: dir, RelPath: rel, Path: impPath, Fset: fset, modRoot: root}
+			byDir[dir] = pkg
+		}
+		pkg.Files = append(pkg.Files, &File{
+			Name: path,
+			AST:  ast,
+			Test: strings.HasSuffix(name, "_test.go"),
+		})
+		return nil
+	})
+	if walkErr != nil {
+		return nil, walkErr
+	}
+
+	mod := &Module{Root: root, Path: modPath}
+	for _, pkg := range byDir {
+		sort.Slice(pkg.Files, func(i, j int) bool { return pkg.Files[i].Name < pkg.Files[j].Name })
+		mod.Packages = append(mod.Packages, pkg)
+	}
+	sort.Slice(mod.Packages, func(i, j int) bool { return mod.Packages[i].Dir < mod.Packages[j].Dir })
+	mod.Index = buildIndex(mod)
+	return mod, nil
+}
+
+// modulePath extracts the module path from a go.mod file without
+// depending on golang.org/x/mod.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: not a module root: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			rest = strings.TrimSpace(rest)
+			rest = strings.Trim(rest, `"`)
+			if rest != "" {
+				return rest, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"react/internal/clock"
 	"react/internal/crowd"
 	"react/internal/wire"
 	"react/internal/workload"
@@ -30,6 +31,11 @@ type Config struct {
 	Seed     int64   // behaviour/workload seed
 	Compress float64 // time compression factor (default 100)
 	Logf     func(format string, args ...any)
+
+	// Clock is the timebase for pacing, deadlines, and the wall-time
+	// report (default clock.System{}). Injectable so the generator obeys
+	// the same clock discipline as the rest of the module.
+	Clock clock.Sleeper
 }
 
 func (c Config) normalize() Config {
@@ -49,6 +55,9 @@ func (c Config) normalize() Config {
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
+	}
+	if c.Clock == nil {
+		c.Clock = clock.System{}
 	}
 	return c
 }
@@ -70,7 +79,7 @@ type Report struct {
 // one watching requester, Tasks submissions at the configured rate.
 func Run(cfg Config) (Report, error) {
 	cfg = cfg.normalize()
-	start := time.Now()
+	start := cfg.Clock.Now()
 
 	// Crowd connections, spread uniformly over the same area the task
 	// generator uses so multi-region backends see workers in every cell.
@@ -101,7 +110,7 @@ func Run(cfg Config) (Report, error) {
 			rng := rand.New(rand.NewSource(seed))
 			for a := range cl.Assignments() {
 				exec := time.Duration(float64(b.ExecTime(rng)) / cfg.Compress)
-				time.Sleep(exec)
+				cfg.Clock.Sleep(exec)
 				// Reassigned tasks fail Complete; that is expected traffic.
 				cl.Complete(a.TaskID, id, "synthetic answer")
 			}
@@ -152,8 +161,8 @@ func Run(cfg Config) (Report, error) {
 	wrng := rand.New(rand.NewSource(cfg.Seed ^ 0x10adfeed))
 	gap := time.Duration(float64(time.Second) / cfg.Rate / cfg.Compress)
 	for i := 0; i < cfg.Tasks; i++ {
-		task := gen.Make(i, time.Now(), wrng)
-		deadline := time.Duration(float64(task.Deadline.Sub(time.Now())) / cfg.Compress)
+		task := gen.Make(i, cfg.Clock.Now(), wrng)
+		deadline := time.Duration(float64(task.Deadline.Sub(cfg.Clock.Now())) / cfg.Compress)
 		err := req.Submit(wire.TaskPayload{
 			ID:          task.ID,
 			Lat:         task.Location.Lat,
@@ -167,14 +176,14 @@ func Run(cfg Config) (Report, error) {
 			return rep, fmt.Errorf("loadgen: submit: %w", err)
 		}
 		rep.Submitted++
-		time.Sleep(gap)
+		cfg.Clock.Sleep(gap)
 	}
 	cfg.Logf("loadgen: submitted %d tasks, draining", rep.Submitted)
 
 	// Drain: wait for every submission to terminate (bounded).
-	deadline := time.Now().Add(time.Duration(float64(3*time.Minute) / cfg.Compress * 2))
-	for time.Now().Before(deadline) && int(resultsSeen.Load()) < cfg.Tasks {
-		time.Sleep(10 * time.Millisecond)
+	deadline := cfg.Clock.Now().Add(time.Duration(float64(3*time.Minute) / cfg.Compress * 2))
+	for cfg.Clock.Now().Before(deadline) && int(resultsSeen.Load()) < cfg.Tasks {
+		cfg.Clock.Sleep(10 * time.Millisecond)
 	}
 	stats, err := req.Stats()
 	for _, w := range workers {
@@ -188,6 +197,6 @@ func Run(cfg Config) (Report, error) {
 	if err == nil {
 		rep.Server = stats
 	}
-	rep.Wall = time.Since(start)
+	rep.Wall = cfg.Clock.Now().Sub(start)
 	return rep, nil
 }

@@ -254,6 +254,7 @@ func (c *conn) handle(m Message) {
 		c.reply(nil)
 		// Forward assignments until the feed closes (deregistration or
 		// server stop).
+		//lint:ignore nakedgoroutine the forwarder's lifetime is the feed channel: the backend closes it on deregister/detach/stop
 		go func() {
 			for a := range feed {
 				if err := c.send(Message{Type: "assignment", Assignment: toAssignmentPayload(a, time.Now())}); err != nil {
