@@ -3,9 +3,9 @@
 GO ?= go
 # Packages with real goroutine concurrency; the race detector gates them
 # on every change.
-RACE_PKGS = ./internal/core ./internal/wire ./internal/federation ./internal/taskq
+RACE_PKGS = ./internal/core ./internal/wire ./internal/federation ./internal/taskq ./internal/faultnet
 
-.PHONY: all build lint vet test race determinism ci
+.PHONY: all build lint vet test race chaos determinism ci
 
 all: build lint test
 
@@ -27,6 +27,13 @@ test:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
+# Fault-injection suite: drives the wire layer through resets, delays,
+# partitions, idle-deadline expiry, and a full server restart (via
+# internal/faultnet) under the race detector, plus the resilient load
+# run. `reactload -chaos` is the same scenario as a live command.
+chaos:
+	$(GO) test -race -run 'Chaos|Proxy|Resilient' ./internal/wire ./internal/faultnet ./internal/loadgen
+
 # Two same-seed simulation runs must produce byte-identical reports —
 # the reproducibility property the linter exists to protect. Figures
 # 3/4 are excluded: they measure real matcher wall time by design.
@@ -39,4 +46,4 @@ determinism:
 		echo "fig $$fig: byte-identical"; \
 	done
 
-ci: build lint test race determinism
+ci: build lint test race chaos determinism

@@ -42,6 +42,7 @@ func main() {
 	retention := flag.Duration("retention", time.Hour, "how long terminal task records are kept for late feedback")
 	grid := flag.String("grid", "", "multi-region mode: \"RxC\" decomposition of -area (e.g. 2x2); empty = single region")
 	area := flag.String("area", "37.8,23.5,38.2,24.0", "geographic area as minLat,minLon,maxLat,maxLon (multi-region mode)")
+	idleTimeout := flag.Duration("idle-timeout", wire.DefaultIdleTimeout, "drop connections silent for this long (0 disables); clients keepalive-ping well under it")
 	flag.Parse()
 
 	var matcher matching.Matcher
@@ -90,6 +91,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("reactd: %v", err)
 	}
+	srv.SetIdleTimeout(*idleTimeout)
 	log.Printf("reactd: listening on %s (matcher=%s, grid=%q)", srv.Addr(), *matcherName, *grid)
 
 	if *profiles != "" && srv.Core() != nil {

@@ -7,16 +7,29 @@
 //
 //	reactd -addr :7341 -batch-period 50ms -monitor-period 20ms
 //	reactload -addr localhost:7341 -workers 30 -rate 8 -tasks 200
+//
+// With -chaos, reactload instead brings up its own in-process region server
+// behind a fault-injecting proxy, cuts every connection partway through the
+// run, and restarts the server (snapshotting and restoring worker profiles)
+// at the two-thirds mark — then requires the run to finish with zero
+// unresolved tasks and zero response mismatches. It is the wire layer's
+// resilience demo in one command.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"time"
 
+	"react/internal/core"
+	"react/internal/dynassign"
+	"react/internal/faultnet"
 	"react/internal/loadgen"
+	"react/internal/schedule"
+	"react/internal/wire"
 )
 
 func main() {
@@ -26,9 +39,10 @@ func main() {
 	tasks := flag.Int("tasks", 100, "total tasks to submit")
 	seed := flag.Int64("seed", time.Now().UnixNano(), "behaviour/workload seed")
 	compress := flag.Float64("compress", 100, "time compression factor")
+	chaos := flag.Bool("chaos", false, "self-contained fault-injection run: in-process server behind a chaos proxy, with resets and a mid-run restart")
 	flag.Parse()
 
-	rep, err := loadgen.Run(loadgen.Config{
+	cfg := loadgen.Config{
 		Addr:     *addr,
 		Workers:  *workers,
 		Rate:     *rate,
@@ -36,7 +50,21 @@ func main() {
 		Seed:     *seed,
 		Compress: *compress,
 		Logf:     log.Printf,
-	})
+	}
+
+	var cleanup func()
+	if *chaos {
+		var err error
+		cleanup, err = setupChaos(&cfg)
+		if err != nil {
+			log.Fatalf("reactload: chaos setup: %v", err)
+		}
+	}
+
+	rep, err := loadgen.Run(cfg)
+	if cleanup != nil {
+		cleanup()
+	}
 	if err != nil {
 		log.Fatalf("reactload: %v", err)
 	}
@@ -46,7 +74,86 @@ func main() {
 		rep.Late, rep.Expired, rep.Positive, rep.Wall.Round(time.Millisecond))
 	fmt.Printf("server: assigned %d, reassigned %d, batches %d, workers online %d\n",
 		rep.Server.Assigned, rep.Server.Reassigned, rep.Server.Batches, rep.Server.WorkersOnline)
+	if *chaos {
+		fmt.Printf("chaos: reconnects %d, resubmitted %d, reconciled %d, stale responses %d, mismatched %d\n",
+			rep.Reconnects, rep.Resubmitted, rep.Reconciled, rep.Stale, rep.Mismatched)
+		if rep.Unresolved > 0 || rep.Mismatched > 0 {
+			fmt.Fprintf(os.Stderr, "chaos run FAILED: %d unresolved tasks, %d mismatched responses\n",
+				rep.Unresolved, rep.Mismatched)
+			os.Exit(1)
+		}
+		fmt.Println("chaos run survived: zero lost assignments, zero response mismatches")
+		return
+	}
 	if rep.Results < rep.Submitted {
 		fmt.Fprintf(os.Stderr, "warning: %d tasks unresolved at exit\n", rep.Submitted-rep.Results)
 	}
+}
+
+// serverOptions are compressed to match the load generator's time scale,
+// like a reactd started with fast loop periods.
+func serverOptions() core.Options {
+	return core.Options{
+		BatchPoll:     5 * time.Millisecond,
+		MonitorPeriod: 20 * time.Millisecond,
+		Schedule:      schedule.Config{BatchBound: 3, BatchPeriod: 20 * time.Millisecond},
+		Monitor:       dynassign.Monitor{Threshold: 0.1},
+	}
+}
+
+// setupChaos starts the in-process server and proxy, points the run at the
+// proxy, turns on resilient mode, and installs the fault schedule: every
+// connection hard-reset at one third of the submissions, a full server
+// restart (profiles snapshotted and restored, new port, proxy retargeted)
+// at two thirds. Returns a cleanup for the final server and proxy.
+func setupChaos(cfg *loadgen.Config) (func(), error) {
+	srv, err := wire.Serve("127.0.0.1:0", serverOptions())
+	if err != nil {
+		return nil, err
+	}
+	proxy, err := faultnet.New(faultnet.Config{Target: srv.Addr(), Seed: cfg.Seed})
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	cfg.Addr = proxy.Addr()
+	cfg.Resilient = true
+
+	resetAt := cfg.Tasks / 3
+	restartAt := cfg.Tasks * 2 / 3
+	if resetAt < 1 {
+		resetAt = 1
+	}
+	if restartAt <= resetAt {
+		restartAt = resetAt + 1
+	}
+	cfg.OnSubmit = func(n int) {
+		switch n {
+		case resetAt:
+			cut := proxy.ResetAll()
+			log.Printf("chaos: hard-reset %d connections at task %d", cut, n)
+		case restartAt:
+			var snap bytes.Buffer
+			if err := srv.Core().SaveProfiles(&snap); err != nil {
+				log.Printf("chaos: profile snapshot failed: %v", err)
+			}
+			srv.Close()
+			next, err := wire.Serve("127.0.0.1:0", serverOptions())
+			if err != nil {
+				log.Printf("chaos: restart failed: %v", err)
+				return
+			}
+			n, err := next.Core().LoadProfiles(&snap)
+			if err != nil {
+				log.Printf("chaos: profile restore failed: %v", err)
+			}
+			proxy.SetTarget(next.Addr())
+			srv = next
+			log.Printf("chaos: server restarted on %s with %d profiles restored", next.Addr(), n)
+		}
+	}
+	return func() {
+		proxy.Close()
+		srv.Close()
+	}, nil
 }

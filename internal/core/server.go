@@ -316,6 +316,32 @@ func (s *Server) Feedback(taskID string, positive bool) error {
 	return nil
 }
 
+// TaskStatus is a point-in-time view of one task's lifecycle, served to
+// requesters reconciling their outstanding tasks after a reconnect (a
+// result pushed while the watcher was disconnected is gone for good).
+type TaskStatus struct {
+	TaskID      string
+	State       taskq.Status
+	Worker      string // current or last worker
+	MetDeadline bool   // meaningful when State == taskq.Completed
+}
+
+// TaskStatus reports the lifecycle state of a task; ok is false when the
+// task was never submitted here or its terminal record has already been
+// garbage-collected past the retention window.
+func (s *Server) TaskStatus(taskID string) (TaskStatus, bool) {
+	rec, ok := s.tasks.Get(taskID)
+	if !ok {
+		return TaskStatus{}, false
+	}
+	return TaskStatus{
+		TaskID:      taskID,
+		State:       rec.Status,
+		Worker:      rec.Worker,
+		MetDeadline: rec.Status == taskq.Completed && rec.MetDeadline(),
+	}, true
+}
+
 // Stats snapshots the counters.
 func (s *Server) Stats() Stats {
 	s.mu.Lock()

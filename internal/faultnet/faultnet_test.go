@@ -1,0 +1,243 @@
+package faultnet
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoServer answers every line with prefix+line. Returns its address and
+// a stop function.
+func echoServer(t *testing.T, prefix string) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func(c net.Conn) {
+				defer wg.Done()
+				defer c.Close()
+				sc := bufio.NewScanner(c)
+				for sc.Scan() {
+					fmt.Fprintf(c, "%s%s\n", prefix, sc.Text())
+				}
+			}(c)
+		}
+	}()
+	t.Cleanup(func() { ln.Close(); wg.Wait() })
+	return ln.Addr().String()
+}
+
+func startProxy(t *testing.T, cfg Config) *Proxy {
+	t.Helper()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+// roundTrip sends one line through c and returns the reply (or error).
+func roundTrip(c net.Conn, line string) (string, error) {
+	c.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := fmt.Fprintf(c, "%s\n", line); err != nil {
+		return "", err
+	}
+	r := bufio.NewReader(c)
+	s, err := r.ReadString('\n')
+	return strings.TrimSuffix(s, "\n"), err
+}
+
+func TestProxyForwards(t *testing.T) {
+	target := echoServer(t, "echo:")
+	p := startProxy(t, Config{Target: target})
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	got, err := roundTrip(c, "hello")
+	if err != nil || got != "echo:hello" {
+		t.Fatalf("roundTrip = %q, %v", got, err)
+	}
+	st := p.Stats()
+	if st.Accepted != 1 || st.BytesUp == 0 || st.BytesDn == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestProxyResetAllCutsLiveConnections(t *testing.T) {
+	target := echoServer(t, "")
+	p := startProxy(t, Config{Target: target})
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := roundTrip(c, "warm"); err != nil {
+		t.Fatal(err)
+	}
+	if n := p.ResetAll(); n != 1 {
+		t.Fatalf("ResetAll cut %d links", n)
+	}
+	// The cut surfaces as an error on the next exchange (possibly after
+	// one buffered success).
+	var rtErr error
+	for i := 0; i < 5 && rtErr == nil; i++ {
+		_, rtErr = roundTrip(c, "after-reset")
+	}
+	if rtErr == nil {
+		t.Fatal("connection survived ResetAll")
+	}
+	if st := p.Stats(); st.Resets != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestProxyPartitionRefusesAndHeals(t *testing.T) {
+	target := echoServer(t, "")
+	p := startProxy(t, Config{Target: target})
+	p.Partition(true)
+	// New connections die without ever reaching the target.
+	c, err := net.Dial("tcp", p.Addr())
+	if err == nil {
+		if _, err2 := roundTrip(c, "into the void"); err2 == nil {
+			t.Fatal("exchange succeeded through a partition")
+		}
+		c.Close()
+	}
+	p.Partition(false)
+	c2, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if got, err := roundTrip(c2, "healed"); err != nil || got != "healed" {
+		t.Fatalf("after heal: %q, %v", got, err)
+	}
+	if st := p.Stats(); st.Refused == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestProxyPartitionStallsInFlight(t *testing.T) {
+	target := echoServer(t, "")
+	p := startProxy(t, Config{Target: target})
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := roundTrip(c, "warm"); err != nil {
+		t.Fatal(err)
+	}
+	p.Partition(true)
+	// The line sent during the partition must not come back until healed.
+	if _, err := fmt.Fprintf(c, "stalled\n"); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	buf := make([]byte, 64)
+	if n, err := c.Read(buf); err == nil {
+		t.Fatalf("read %q during partition", buf[:n])
+	}
+	p.Partition(false)
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	r := bufio.NewReader(c)
+	got, err := r.ReadString('\n')
+	if err != nil || strings.TrimSuffix(got, "\n") != "stalled" {
+		t.Fatalf("after heal: %q, %v", got, err)
+	}
+}
+
+func TestProxySetTargetSwitchesBackend(t *testing.T) {
+	a := echoServer(t, "a:")
+	b := echoServer(t, "b:")
+	p := startProxy(t, Config{Target: a})
+	c1, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	if got, _ := roundTrip(c1, "x"); got != "a:x" {
+		t.Fatalf("before retarget: %q", got)
+	}
+	p.SetTarget(b)
+	c2, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if got, _ := roundTrip(c2, "x"); got != "b:x" {
+		t.Fatalf("after retarget: %q", got)
+	}
+}
+
+func TestProxyDropRateOneResetsEveryChunk(t *testing.T) {
+	target := echoServer(t, "")
+	p := startProxy(t, Config{Target: target, DropRate: 1, Seed: 7})
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := roundTrip(c, "doomed"); err == nil {
+		t.Fatal("exchange survived dropRate=1")
+	}
+	if st := p.Stats(); st.Resets == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestProxyDelaySlowsRoundTrip(t *testing.T) {
+	target := echoServer(t, "")
+	p := startProxy(t, Config{Target: target, Delay: 60 * time.Millisecond})
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	if _, err := roundTrip(c, "slow"); err != nil {
+		t.Fatal(err)
+	}
+	// Two directions, each delayed ≥60ms.
+	if d := time.Since(start); d < 100*time.Millisecond {
+		t.Fatalf("round trip took only %v", d)
+	}
+}
+
+func TestProxyCloseIdempotent(t *testing.T) {
+	target := echoServer(t, "")
+	p, err := New(Config{Target: target})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProxyRequiresTarget(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("proxy started without a target")
+	}
+}

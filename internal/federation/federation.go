@@ -190,6 +190,16 @@ func (c *Coordinator) taskServer(taskID string) (*core.Server, error) {
 	return s, nil
 }
 
+// TaskStatus reports a task's lifecycle state from the region server
+// owning it; ok is false for tasks the federation has never routed.
+func (c *Coordinator) TaskStatus(taskID string) (core.TaskStatus, bool) {
+	s, err := c.taskServer(taskID)
+	if err != nil {
+		return core.TaskStatus{}, false
+	}
+	return s.TaskStatus(taskID)
+}
+
 // Regions lists the regions with running servers.
 func (c *Coordinator) Regions() []string {
 	c.mu.Lock()

@@ -7,13 +7,19 @@
 // by a configurable factor (default 100×: deadlines become 0.6–1.2 s,
 // completions 10–200 ms), which preserves all the ratios the scheduler
 // reasons about.
+//
+// With Resilient set, every connection is a wire.ReconnectingClient and the
+// requester reconciles outstanding tasks through the task-status query, so
+// a run survives injected connection faults and even a server restart —
+// the harness behind `reactload -chaos`.
 package loadgen
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"react/internal/clock"
@@ -31,6 +37,19 @@ type Config struct {
 	Seed     int64   // behaviour/workload seed
 	Compress float64 // time compression factor (default 100)
 	Logf     func(format string, args ...any)
+
+	// Resilient switches every connection to a wire.ReconnectingClient
+	// and turns on requester-side reconciliation: results whose push was
+	// lost to an outage are recovered via the task-status query, and
+	// tasks the server never saw (submission cut mid-flight, or a restart
+	// wiped the queue) are resubmitted. A resilient run is the way to
+	// drive a server that is being deliberately broken underneath it.
+	Resilient bool
+
+	// OnSubmit, if set, is called after each successful submission with
+	// the number submitted so far — the hook chaos drivers use to fire
+	// faults at chosen points in the run.
+	OnSubmit func(n int)
 
 	// Clock is the timebase for pacing, deadlines, and the wall-time
 	// report (default clock.System{}). Injectable so the generator obeys
@@ -66,13 +85,64 @@ func (c Config) normalize() Config {
 // server's own counters.
 type Report struct {
 	Submitted int
-	Results   int // result pushes received (completions + expiries)
+	Results   int // results observed (pushes plus reconciled statuses)
 	OnTime    int
 	Late      int
 	Expired   int
 	Positive  int // positive feedbacks sent
 	Wall      time.Duration
 	Server    wire.StatsPayload
+
+	// Resilience accounting (resilient runs only).
+	Resubmitted int   // tasks re-sent because the server had no record of them
+	Reconciled  int   // terminal states recovered by status query, not push
+	Unresolved  int   // tasks that never reached a terminal state — MUST be 0
+	Reconnects  int64 // sessions re-established across all connections
+	Stale       int64 // late responses discarded by Seq correlation
+	Mismatched  int64 // responses that matched no request — MUST be 0
+}
+
+// client is the connection surface the generator drives, satisfied by both
+// *wire.Client and *wire.ReconnectingClient.
+type client interface {
+	Register(workerID string, lat, lon float64) error
+	Assignments() <-chan wire.AssignmentPayload
+	Complete(taskID, workerID, answer string) error
+	Watch() error
+	Results() <-chan wire.ResultPayload
+	Feedback(taskID string, positive bool) error
+	Submit(t wire.TaskPayload) error
+	Stats() (wire.StatsPayload, error)
+	TaskStatus(taskID string) (wire.TaskStatusPayload, error)
+	Metrics() wire.ClientMetrics
+	Close() error
+}
+
+// dial opens one connection in the run's chosen mode. Resilient dials
+// return immediately and connect in the background; the first call blocks
+// until the session is up.
+func (c Config) dial(seed int64) (client, error) {
+	if !c.Resilient {
+		return wire.Dial(c.Addr)
+	}
+	return wire.DialReconnecting(wire.ReconnectConfig{
+		Addr:      c.Addr,
+		Seed:      seed,
+		BaseDelay: 20 * time.Millisecond,
+		MaxDelay:  time.Second,
+		MaxOutage: 30 * time.Second,
+		Logf:      c.Logf,
+	})
+}
+
+// gather folds one connection's wire metrics into the report.
+func gather(rep *Report, c client) {
+	m := c.Metrics()
+	rep.Stale += m.StaleResponses
+	rep.Mismatched += m.MismatchedResponses
+	if rc, ok := c.(*wire.ReconnectingClient); ok {
+		rep.Reconnects += rc.Reconnects()
+	}
 }
 
 // Run executes the load: Workers worker connections with crowd behaviours,
@@ -87,14 +157,14 @@ func Run(cfg Config) (Report, error) {
 	locRng := rand.New(rand.NewSource(cfg.Seed ^ 0x10c))
 	behaviors := crowd.NewPopulation(cfg.Workers, rand.New(rand.NewSource(cfg.Seed)))
 	var wg sync.WaitGroup
-	workers := make([]*wire.Client, 0, cfg.Workers)
+	workers := make([]client, 0, cfg.Workers)
 	defer func() {
 		for _, w := range workers {
 			w.Close()
 		}
 	}()
 	for i, b := range behaviors {
-		cl, err := wire.Dial(cfg.Addr)
+		cl, err := cfg.dial(cfg.Seed ^ int64(i+1)<<20)
 		if err != nil {
 			return Report{}, fmt.Errorf("loadgen: worker dial: %w", err)
 		}
@@ -105,7 +175,7 @@ func Run(cfg Config) (Report, error) {
 			return Report{}, fmt.Errorf("loadgen: register %s: %w", id, err)
 		}
 		wg.Add(1)
-		go func(id string, cl *wire.Client, b crowd.Behavior, seed int64) {
+		go func(id string, cl client, b crowd.Behavior, seed int64) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed))
 			for a := range cl.Assignments() {
@@ -118,7 +188,7 @@ func Run(cfg Config) (Report, error) {
 	}
 
 	// Requester connection: watch results, grade them.
-	req, err := wire.Dial(cfg.Addr)
+	req, err := cfg.dial(cfg.Seed ^ 0x5e90)
 	if err != nil {
 		return Report{}, fmt.Errorf("loadgen: requester dial: %w", err)
 	}
@@ -126,33 +196,47 @@ func Run(cfg Config) (Report, error) {
 	if err := req.Watch(); err != nil {
 		return Report{}, err
 	}
+
 	var rep Report
 	var mu sync.Mutex
-	var resultsSeen atomic.Int32
+	// outstanding tracks every submitted task until a terminal state is
+	// observed — by result push, or (resilient runs) by status query.
+	outstanding := make(map[string]wire.TaskPayload, cfg.Tasks)
+	// settle records one terminal observation; idempotent per task so a
+	// push racing a reconciling status query cannot double-count.
+	settle := func(taskID string, expired, metDeadline bool, reconciled bool) {
+		mu.Lock()
+		if _, open := outstanding[taskID]; !open {
+			mu.Unlock()
+			return
+		}
+		delete(outstanding, taskID)
+		rep.Results++
+		switch {
+		case expired:
+			rep.Expired++
+		case metDeadline:
+			rep.OnTime++
+		default:
+			rep.Late++
+		}
+		if reconciled {
+			rep.Reconciled++
+		}
+		mu.Unlock()
+		if !expired {
+			if err := req.Feedback(taskID, metDeadline); err == nil && metDeadline {
+				mu.Lock()
+				rep.Positive++
+				mu.Unlock()
+			}
+		}
+	}
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
 		for r := range req.Results() {
-			mu.Lock()
-			rep.Results++
-			switch {
-			case r.Expired:
-				rep.Expired++
-			case r.MetDeadline:
-				rep.OnTime++
-			default:
-				rep.Late++
-			}
-			mu.Unlock()
-			if !r.Expired {
-				positive := r.MetDeadline
-				if err := req.Feedback(r.TaskID, positive); err == nil && positive {
-					mu.Lock()
-					rep.Positive++
-					mu.Unlock()
-				}
-			}
-			resultsSeen.Add(1)
+			settle(r.TaskID, r.Expired, r.MetDeadline, false)
 		}
 	}()
 
@@ -163,7 +247,7 @@ func Run(cfg Config) (Report, error) {
 	for i := 0; i < cfg.Tasks; i++ {
 		task := gen.Make(i, cfg.Clock.Now(), wrng)
 		deadline := time.Duration(float64(task.Deadline.Sub(cfg.Clock.Now())) / cfg.Compress)
-		err := req.Submit(wire.TaskPayload{
+		payload := wire.TaskPayload{
 			ID:          task.ID,
 			Lat:         task.Location.Lat,
 			Lon:         task.Location.Lon,
@@ -171,32 +255,103 @@ func Run(cfg Config) (Report, error) {
 			Reward:      task.Reward,
 			Category:    task.Category,
 			Description: task.Description,
-		})
-		if err != nil {
-			return rep, fmt.Errorf("loadgen: submit: %w", err)
+		}
+		mu.Lock()
+		outstanding[payload.ID] = payload
+		mu.Unlock()
+		if err := req.Submit(payload); err != nil {
+			if !cfg.Resilient {
+				return rep, fmt.Errorf("loadgen: submit: %w", err)
+			}
+			// Ambiguous failure (timeout, conn cut mid-send): the server
+			// may or may not have the task. Leave it outstanding — the
+			// reconcile pass resubmits if the server reports "unknown".
+			cfg.Logf("loadgen: submit %s unconfirmed: %v", payload.ID, err)
 		}
 		rep.Submitted++
+		if cfg.OnSubmit != nil {
+			cfg.OnSubmit(rep.Submitted)
+		}
 		cfg.Clock.Sleep(gap)
 	}
 	cfg.Logf("loadgen: submitted %d tasks, draining", rep.Submitted)
 
-	// Drain: wait for every submission to terminate (bounded).
-	deadline := cfg.Clock.Now().Add(time.Duration(float64(3*time.Minute) / cfg.Compress * 2))
-	for cfg.Clock.Now().Before(deadline) && int(resultsSeen.Load()) < cfg.Tasks {
+	// Drain: wait for every submission to terminate (bounded). Resilient
+	// runs get a wider window — recovery from injected faults (backoff,
+	// idle-deadline detection, restart) happens in uncompressed time.
+	window := time.Duration(float64(3*time.Minute) / cfg.Compress * 2)
+	if cfg.Resilient && window < 15*time.Second {
+		window = 15 * time.Second
+	}
+	deadline := cfg.Clock.Now().Add(window)
+	for cfg.Clock.Now().Before(deadline) {
+		mu.Lock()
+		open := len(outstanding)
+		mu.Unlock()
+		if open == 0 {
+			break
+		}
+		if cfg.Resilient {
+			reconcile(cfg, req, &mu, outstanding, &rep, settle)
+		}
 		cfg.Clock.Sleep(10 * time.Millisecond)
 	}
 	stats, err := req.Stats()
 	for _, w := range workers {
+		gather(&rep, w)
 		w.Close()
 	}
 	wg.Wait()
 	// Close the requester feed and wait for the result collector so every
 	// rep field is settled before the final read.
+	gather(&rep, req)
 	req.Close()
 	<-done
 	if err == nil {
 		rep.Server = stats
 	}
+	mu.Lock()
+	rep.Unresolved = len(outstanding)
+	mu.Unlock()
 	rep.Wall = cfg.Clock.Now().Sub(start)
 	return rep, nil
+}
+
+// reconcile resolves outstanding tasks whose result push was lost to an
+// outage: terminal states are settled from the status query, and tasks the
+// server has no record of are resubmitted with a fresh deadline.
+func reconcile(cfg Config, req client, mu *sync.Mutex,
+	outstanding map[string]wire.TaskPayload, rep *Report,
+	settle func(taskID string, expired, metDeadline, reconciled bool)) {
+	mu.Lock()
+	open := make([]wire.TaskPayload, 0, len(outstanding))
+	for _, p := range outstanding {
+		open = append(open, p)
+	}
+	mu.Unlock()
+	for _, p := range open {
+		st, err := req.TaskStatus(p.ID)
+		if err != nil {
+			return // connection trouble; the next pass retries
+		}
+		switch st.State {
+		case "completed":
+			settle(p.ID, false, st.MetDeadline, true)
+		case "expired":
+			settle(p.ID, true, false, true)
+		case "unknown":
+			// The server never saw it (cut submission) or lost it (task
+			// state is in-memory; a restart wipes the queue). Resubmit.
+			err := req.Submit(p)
+			if err == nil {
+				mu.Lock()
+				rep.Resubmitted++
+				mu.Unlock()
+				cfg.Logf("loadgen: resubmitted %s", p.ID)
+			} else if errors.Is(err, wire.ErrTimeout) ||
+				strings.Contains(err.Error(), "duplicate") {
+				continue // ambiguous or raced a concurrent resubmit; retry next pass
+			}
+		}
+	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"react/internal/core"
 	"react/internal/dynassign"
+	"react/internal/faultnet"
 	"react/internal/schedule"
 	"react/internal/wire"
 )
@@ -62,6 +63,48 @@ func TestLoadRunCompletes(t *testing.T) {
 	}
 	if rep.Wall <= 0 {
 		t.Fatal("wall time not recorded")
+	}
+}
+
+func TestLoadRunResilientSurvivesResets(t *testing.T) {
+	s := startServer(t)
+	proxy, err := faultnet.New(faultnet.Config{Target: s.Addr(), Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { proxy.Close() })
+
+	rep, err := Run(Config{
+		Addr:      proxy.Addr(),
+		Workers:   8,
+		Rate:      5,
+		Tasks:     30,
+		Seed:      2,
+		Compress:  200,
+		Resilient: true,
+		OnSubmit: func(n int) {
+			if n == 10 || n == 20 {
+				proxy.ResetAll() // cut every connection mid-run, twice
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Submitted != 30 {
+		t.Fatalf("submitted %d", rep.Submitted)
+	}
+	if rep.Unresolved != 0 {
+		t.Fatalf("%d tasks unresolved: %+v", rep.Unresolved, rep)
+	}
+	if rep.Mismatched != 0 {
+		t.Fatalf("response correlation broke: %+v", rep)
+	}
+	if rep.Reconnects == 0 {
+		t.Fatalf("resets injected but no reconnects recorded: %+v", rep)
+	}
+	if rep.OnTime+rep.Late+rep.Expired != rep.Results {
+		t.Fatalf("result accounting broken: %+v", rep)
 	}
 }
 

@@ -1,0 +1,308 @@
+package wire
+
+// Chaos tests: drive the wire layer through injected network faults — the
+// failure modes §I of the paper attributes to a mobile crowd (abrupt
+// disconnections, dead peers, partitions) plus a full server restart —
+// and assert that sequence correlation, reconnection, and the idle
+// deadline actually deliver the resilience they promise.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"react/internal/core"
+	"react/internal/faultnet"
+	"react/internal/schedule"
+)
+
+func fastOptions() core.Options {
+	return core.Options{
+		BatchPoll:     5 * time.Millisecond,
+		MonitorPeriod: 50 * time.Millisecond,
+		Schedule:      schedule.Config{BatchBound: 1, BatchPeriod: 10 * time.Millisecond},
+	}
+}
+
+func startProxy(t *testing.T, target string) *faultnet.Proxy {
+	t.Helper()
+	p, err := faultnet.New(faultnet.Config{Target: target, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func dialReconnecting(t *testing.T, addr string, seed int64) *ReconnectingClient {
+	t.Helper()
+	rc, err := DialReconnecting(ReconnectConfig{
+		Addr:        addr,
+		Seed:        seed,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    200 * time.Millisecond,
+		MaxOutage:   30 * time.Second,
+		CallTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rc.Close() })
+	return rc
+}
+
+// TestChaosSeqCorrelationAfterTimeout is the regression test for the
+// response-desync bug: a call that times out leaves its response in
+// flight; when that response finally lands it must be recognized as stale
+// and discarded, not consumed as the answer to the next call. Before
+// sequence correlation, the late "ok" here would have been returned to
+// Stats(), whose real (stats-bearing) response would then desync every
+// call after it.
+func TestChaosSeqCorrelationAfterTimeout(t *testing.T) {
+	s := startServer(t)
+	p := startProxy(t, s.Addr())
+	c, err := Dial(p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	if err := c.Ping(); err != nil { // warm the link fault-free
+		t.Fatal(err)
+	}
+
+	p.SetDelay(250 * time.Millisecond) // round trip ≈500ms
+	c.SetCallTimeout(50 * time.Millisecond)
+	if err := c.Ping(); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("delayed ping error = %v, want ErrTimeout", err)
+	}
+
+	// Let the late response land and park in the response buffer.
+	c.SetCallTimeout(5 * time.Second)
+	p.SetDelay(0)
+	time.Sleep(700 * time.Millisecond)
+
+	// The next call must skip the stale frame and get its own answer.
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatalf("call after timed-out call: %v", err)
+	}
+	if st.WorkersOnline != 0 {
+		t.Fatalf("stats desynced: %+v", st)
+	}
+	m := c.Metrics()
+	if m.StaleResponses < 1 {
+		t.Fatalf("stale response not detected: %+v", m)
+	}
+	if m.MismatchedResponses != 0 {
+		t.Fatalf("spurious mismatches: %+v", m)
+	}
+}
+
+// TestChaosServerRestartZeroLostTasks runs a worker and a requester
+// through the proxy, restarts the server under them (new port, profiles
+// restored from a snapshot — the reactd deployment cycle), retargets the
+// proxy, and requires every task from both halves of the run to complete
+// with the worker's learned history intact.
+func TestChaosServerRestartZeroLostTasks(t *testing.T) {
+	s1, err := Serve("127.0.0.1:0", fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := startProxy(t, s1.Addr())
+
+	worker := dialReconnecting(t, p.Addr(), 1)
+	if err := worker.Register("veteran", 37.98, 23.73); err != nil {
+		t.Fatal(err)
+	}
+	requester := dialReconnecting(t, p.Addr(), 2)
+	if err := requester.Watch(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The worker answers everything it is handed, across reconnects: the
+	// stable assignment feed hides the outages.
+	go func() {
+		for a := range worker.Assignments() {
+			worker.Complete(a.TaskID, "veteran", "ok")
+		}
+	}()
+
+	runBatch := func(ids []string) {
+		t.Helper()
+		for _, id := range ids {
+			if err := requester.Submit(testTask(id)); err != nil {
+				t.Fatalf("submit %s: %v", id, err)
+			}
+		}
+		want := make(map[string]bool, len(ids))
+		for _, id := range ids {
+			want[id] = true
+		}
+		deadline := time.After(20 * time.Second)
+		for len(want) > 0 {
+			select {
+			case r := <-requester.Results():
+				if want[r.TaskID] {
+					delete(want, r.TaskID)
+					requester.Feedback(r.TaskID, true)
+				}
+			case <-deadline:
+				t.Fatalf("tasks never completed: %v", want)
+			}
+		}
+	}
+
+	runBatch([]string{"t1", "t2", "t3", "t4"})
+
+	// Restart: snapshot profiles, kill the server, bring up a new one on a
+	// different port, restore, retarget the proxy.
+	var snap bytes.Buffer
+	if err := s1.Core().SaveProfiles(&snap); err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+	s2, err := Serve("127.0.0.1:0", fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s2.Close() })
+	if n, err := s2.Core().LoadProfiles(&snap); err != nil || n != 1 {
+		t.Fatalf("restored %d profiles, err %v", n, err)
+	}
+	p.SetTarget(s2.Addr())
+
+	runBatch([]string{"t5", "t6", "t7", "t8"})
+
+	if worker.Reconnects() < 1 || requester.Reconnects() < 1 {
+		t.Fatalf("reconnects: worker=%d requester=%d",
+			worker.Reconnects(), requester.Reconnects())
+	}
+	prof, ok := s2.Core().Workers().Get("veteran")
+	if !ok {
+		t.Fatal("profile lost across restart")
+	}
+	if prof.Finished() != 8 {
+		t.Fatalf("history across restart: finished = %d, want 8", prof.Finished())
+	}
+	if m := requester.Metrics(); m.MismatchedResponses != 0 {
+		t.Fatalf("requester mismatches: %+v", m)
+	}
+}
+
+// TestChaosConnectionResetsDuringLoad injects hard resets mid-run and
+// requires every submitted task to reach a terminal state, using the
+// task-status query to reconcile any results lost while the requester's
+// watch subscription was down.
+func TestChaosConnectionResetsDuringLoad(t *testing.T) {
+	s := startServer(t)
+	p := startProxy(t, s.Addr())
+
+	worker := dialReconnecting(t, p.Addr(), 3)
+	if err := worker.Register("grinder", 37.98, 23.73); err != nil {
+		t.Fatal(err)
+	}
+	requester := dialReconnecting(t, p.Addr(), 4)
+	if err := requester.Watch(); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for a := range worker.Assignments() {
+			worker.Complete(a.TaskID, "grinder", "ok")
+		}
+	}()
+
+	const n = 12
+	pending := make(map[string]bool, n)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("r%02d", i)
+		if err := requester.Submit(testTask(id)); err != nil {
+			t.Fatalf("submit %s: %v", id, err)
+		}
+		pending[id] = true
+		if i == 3 || i == 7 {
+			p.ResetAll() // cut every live connection mid-run
+		}
+	}
+
+	// Resolve by result push when the watch is up, by status query when a
+	// push was lost to an outage.
+	deadline := time.Now().Add(30 * time.Second)
+	for len(pending) > 0 && time.Now().Before(deadline) {
+		select {
+		case r := <-requester.Results():
+			delete(pending, r.TaskID)
+		case <-time.After(200 * time.Millisecond):
+			for id := range pending {
+				st, err := requester.TaskStatus(id)
+				if err != nil {
+					continue
+				}
+				if st.State == "completed" || st.State == "expired" {
+					delete(pending, id)
+				}
+			}
+		}
+	}
+	if len(pending) > 0 {
+		t.Fatalf("unresolved tasks after resets: %v", pending)
+	}
+	if worker.Reconnects()+requester.Reconnects() < 1 {
+		t.Fatal("resets were injected but nobody reconnected")
+	}
+	if m := requester.Metrics(); m.MismatchedResponses != 0 {
+		t.Fatalf("requester mismatches: %+v", m)
+	}
+}
+
+// TestChaosIdleDeadlineDetachesSilentWorker covers the server's read
+// deadline: a worker whose connection goes silent (keepalives disabled —
+// the pulled-cable case) must be detached within a bounded interval so
+// its held capacity returns to the pool.
+func TestChaosIdleDeadlineDetachesSilentWorker(t *testing.T) {
+	s := startServer(t)
+	s.SetIdleTimeout(200 * time.Millisecond)
+	c := dial(t, s)
+	c.SetKeepalive(-1) // silence: no pings
+	if err := c.Register("sleeper", 37.98, 23.73); err != nil {
+		t.Fatal(err)
+	}
+	// The server must notice the silence and tear the connection down,
+	// which closes the assignment feed and marks the worker unavailable.
+	select {
+	case _, ok := <-c.Assignments():
+		if ok {
+			t.Fatal("unexpected assignment")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("idle connection never torn down")
+	}
+	prof, ok := s.Core().Workers().Get("sleeper")
+	if !ok {
+		t.Fatal("profile discarded on idle teardown")
+	}
+	if prof.Available() {
+		t.Fatal("silent worker still marked available")
+	}
+}
+
+// TestChaosKeepaliveSurvivesIdleDeadline is the counterpart: a healthy
+// but quiet client pinging under the idle deadline must NOT be torn down.
+func TestChaosKeepaliveSurvivesIdleDeadline(t *testing.T) {
+	s := startServer(t)
+	s.SetIdleTimeout(300 * time.Millisecond)
+	c := dial(t, s)
+	c.SetKeepalive(50 * time.Millisecond)
+	if err := c.Register("steady", 37.98, 23.73); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(time.Second) // several deadline windows, zero requests
+	if err := c.Ping(); err != nil {
+		t.Fatalf("keepalive failed to hold the connection: %v", err)
+	}
+	prof, ok := s.Core().Workers().Get("steady")
+	if !ok || !prof.Available() {
+		t.Fatal("quiet-but-alive worker lost availability")
+	}
+}

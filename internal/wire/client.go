@@ -3,25 +3,83 @@ package wire
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// ServerError is an "error" response from the server: the request was
+// delivered and rejected. Connection-level failures (closed sockets, call
+// timeouts) are reported as other error types — that distinction is how
+// ReconnectingClient decides which failures are worth retrying on a fresh
+// connection.
+type ServerError struct{ msg string }
+
+func (e *ServerError) Error() string { return "wire: " + e.msg }
+
+// ErrTimeout wraps a call whose response did not arrive within the call
+// timeout. The connection stays open: the late response, if it ever
+// arrives, carries the old sequence number, is recognized as stale, and
+// is discarded — it cannot desync later calls.
+var ErrTimeout = errors.New("wire: call timeout")
+
+const (
+	// DefaultCallTimeout bounds one request/response round trip.
+	DefaultCallTimeout = 30 * time.Second
+
+	// DefaultKeepalive is how often an otherwise idle client pings so the
+	// server's read deadline (Server.SetIdleTimeout) sees a live peer.
+	// It must stay comfortably under DefaultIdleTimeout.
+	DefaultKeepalive = 25 * time.Second
+
+	// DefaultMaxBacklog bounds the inbound push queues. A client that
+	// stops draining Assignments()/Results() past this depth is
+	// disconnected so the server's DetachWorker path recovers any held
+	// task, rather than the old behaviour of silently dropping frames
+	// from a full 32-slot buffer while the server still believed the
+	// task was assigned.
+	DefaultMaxBacklog = 16384
+)
+
+// ClientMetrics are the wire-level health counters of one connection.
+type ClientMetrics struct {
+	StaleResponses      int64 // late responses discarded by Seq correlation
+	MismatchedResponses int64 // responses whose Seq matched no outstanding request
+	DroppedResponses    int64 // responses dropped because nothing awaited them
+	AssignmentBacklog   int   // assignment pushes queued but not yet consumed
+	AssignmentHighWater int   // peak assignment backlog over the connection
+	ResultBacklog       int
+	ResultHighWater     int
+	OverflowClosed      bool // connection closed because a backlog exceeded the limit
+}
 
 // Client is one connection to a REACT region server. A single client can
 // act as a worker (Register, then drain Assignments and Complete), as a
 // requester (Submit, Watch, drain Results, Feedback), or both. All methods
-// are safe for concurrent use; requests are serialized on the wire.
+// are safe for concurrent use; requests are serialized on the wire and
+// correlated with responses by sequence number, so a timed-out call cannot
+// desync the ones that follow.
 type Client struct {
 	c   net.Conn
 	enc *json.Encoder
 
 	reqMu sync.Mutex // one outstanding request at a time
 	resp  chan Message
+	seq   atomic.Uint64 // last sequence number stamped on a request
 
-	assignments chan AssignmentPayload
-	results     chan ResultPayload
+	callTimeout atomic.Int64 // ns
+	keepalive   atomic.Int64 // ns; <=0 disables the idle pinger
+	lastSend    atomic.Int64 // unixnano of the last request written
+
+	stale      atomic.Int64
+	mismatched atomic.Int64
+	respDrops  atomic.Int64
+
+	assignments *pushQueue[AssignmentPayload]
+	results     *pushQueue[ResultPayload]
 
 	closeOnce sync.Once
 	closed    chan struct{}
@@ -34,15 +92,51 @@ func Dial(addr string) (*Client, error) {
 		return nil, err
 	}
 	cl := &Client{
-		c:           c,
-		enc:         json.NewEncoder(c),
-		resp:        make(chan Message, 1),
-		assignments: make(chan AssignmentPayload, 32),
-		results:     make(chan ResultPayload, 128),
-		closed:      make(chan struct{}),
+		c:      c,
+		enc:    json.NewEncoder(c),
+		resp:   make(chan Message, 16),
+		closed: make(chan struct{}),
 	}
+	cl.callTimeout.Store(int64(DefaultCallTimeout))
+	cl.keepalive.Store(int64(DefaultKeepalive))
+	cl.lastSend.Store(time.Now().UnixNano())
+	cl.assignments = newPushQueue[AssignmentPayload](DefaultMaxBacklog, cl.overflowClose)
+	cl.results = newPushQueue[ResultPayload](DefaultMaxBacklog, cl.overflowClose)
 	go cl.readLoop()
+	go cl.keepaliveLoop()
 	return cl, nil
+}
+
+// SetCallTimeout bounds each request/response round trip (default
+// DefaultCallTimeout). Zero or negative restores the default.
+func (cl *Client) SetCallTimeout(d time.Duration) {
+	if d <= 0 {
+		d = DefaultCallTimeout
+	}
+	cl.callTimeout.Store(int64(d))
+}
+
+// SetKeepalive sets the idle ping interval (default DefaultKeepalive).
+// Negative disables keepalives entirely; zero restores the default.
+func (cl *Client) SetKeepalive(d time.Duration) {
+	if d == 0 {
+		d = DefaultKeepalive
+	}
+	cl.keepalive.Store(int64(d))
+}
+
+// Metrics snapshots the connection's health counters.
+func (cl *Client) Metrics() ClientMetrics {
+	m := ClientMetrics{
+		StaleResponses:      cl.stale.Load(),
+		MismatchedResponses: cl.mismatched.Load(),
+		DroppedResponses:    cl.respDrops.Load(),
+	}
+	var aOver, rOver bool
+	m.AssignmentBacklog, m.AssignmentHighWater, _, aOver = cl.assignments.depthStats()
+	m.ResultBacklog, m.ResultHighWater, _, rOver = cl.results.depthStats()
+	m.OverflowClosed = aOver || rOver
+	return m
 }
 
 // Close tears down the connection; pending calls fail with ErrClosed.
@@ -50,6 +144,11 @@ func (cl *Client) Close() error {
 	cl.closeOnce.Do(func() { close(cl.closed); cl.c.Close() })
 	return nil
 }
+
+// overflowClose is the push-queue overflow hook: a consumer this far
+// behind will never catch up before its deadlines, so drop the connection
+// and let reconnect/DetachWorker recover the work.
+func (cl *Client) overflowClose() { cl.Close() }
 
 func (cl *Client) readLoop() {
 	scanner := bufio.NewScanner(cl.c)
@@ -62,31 +161,53 @@ func (cl *Client) readLoop() {
 		switch m.Type {
 		case "assignment":
 			if m.Assignment != nil {
-				select {
-				case cl.assignments <- *m.Assignment:
-				default: // drop rather than wedge the reader
-				}
+				cl.assignments.push(*m.Assignment)
 			}
 		case "result":
 			if m.Result != nil {
-				select {
-				case cl.results <- *m.Result:
-				default:
-				}
+				cl.results.push(*m.Result)
 			}
 		default: // ok / error responses
 			select {
 			case cl.resp <- m:
 			default:
+				// No caller is waiting and the parking buffer is full —
+				// a protocol violation worth counting, not wedging on.
+				cl.respDrops.Add(1)
 			}
 		}
 	}
 	cl.Close()
-	close(cl.assignments)
-	close(cl.results)
+	cl.assignments.close()
+	cl.results.close()
 }
 
-// call sends one request and waits for its ok/error response.
+// keepaliveLoop pings whenever the connection has been request-idle for a
+// keepalive interval, so the server's read deadline never fires on a
+// healthy but quiet connection (e.g. a worker waiting for assignments).
+func (cl *Client) keepaliveLoop() {
+	for {
+		d := time.Duration(cl.keepalive.Load())
+		if d <= 0 {
+			d = time.Second // disabled: poll cheaply for re-enablement
+		}
+		timer := time.NewTimer(d)
+		select {
+		case <-cl.closed:
+			timer.Stop()
+			return
+		case <-timer.C:
+		}
+		if kd := time.Duration(cl.keepalive.Load()); kd > 0 &&
+			time.Since(time.Unix(0, cl.lastSend.Load())) >= kd {
+			_ = cl.Ping() // a dead connection surfaces via the read loop
+		}
+	}
+}
+
+// call sends one request and waits for its ok/error response, identified
+// by sequence number. Stale responses — answers to calls that already
+// timed out — are discarded and counted.
 func (cl *Client) call(m Message) (Message, error) {
 	cl.reqMu.Lock()
 	defer cl.reqMu.Unlock()
@@ -95,19 +216,35 @@ func (cl *Client) call(m Message) (Message, error) {
 		return Message{}, ErrClosed
 	default:
 	}
+	m.Seq = cl.seq.Add(1)
+	cl.lastSend.Store(time.Now().UnixNano())
 	if err := cl.enc.Encode(m); err != nil {
 		return Message{}, err
 	}
-	select {
-	case resp := <-cl.resp:
-		if resp.Type == "error" {
-			return resp, fmt.Errorf("wire: %s", resp.Error)
+	timeout := time.NewTimer(time.Duration(cl.callTimeout.Load()))
+	defer timeout.Stop()
+	for {
+		select {
+		case resp := <-cl.resp:
+			switch {
+			case resp.Seq == m.Seq || resp.Seq == 0:
+				// Matched — or a legacy server that does not echo Seq,
+				// which can only answer in order.
+				if resp.Type == "error" {
+					return resp, &ServerError{msg: resp.Error}
+				}
+				return resp, nil
+			case resp.Seq < m.Seq:
+				cl.stale.Add(1) // late answer to a timed-out call
+			default:
+				cl.mismatched.Add(1) // a response from the future: broken peer
+			}
+		case <-cl.closed:
+			return Message{}, ErrClosed
+		case <-timeout.C:
+			return Message{}, fmt.Errorf("%w: no response to %q within %v",
+				ErrTimeout, m.Type, time.Duration(cl.callTimeout.Load()))
 		}
-		return resp, nil
-	case <-cl.closed:
-		return Message{}, ErrClosed
-	case <-time.After(30 * time.Second):
-		return Message{}, fmt.Errorf("wire: timeout waiting for response to %q", m.Type)
 	}
 }
 
@@ -120,7 +257,7 @@ func (cl *Client) Register(workerID string, lat, lon float64) error {
 
 // Assignments is the stream of tasks pushed to this worker. Closed when
 // the connection drops.
-func (cl *Client) Assignments() <-chan AssignmentPayload { return cl.assignments }
+func (cl *Client) Assignments() <-chan AssignmentPayload { return cl.assignments.out }
 
 // Deregister removes this connection's worker from the server. Any held
 // task returns to the pool.
@@ -170,12 +307,27 @@ func (cl *Client) Watch() error {
 
 // Results is the stream of result pushes after Watch. Closed when the
 // connection drops.
-func (cl *Client) Results() <-chan ResultPayload { return cl.results }
+func (cl *Client) Results() <-chan ResultPayload { return cl.results.out }
 
 // Ping round-trips a keepalive frame.
 func (cl *Client) Ping() error {
 	_, err := cl.call(Message{Type: "ping"})
 	return err
+}
+
+// TaskStatus queries the lifecycle state of a task. State "unknown" means
+// the server has no record of it — never submitted there, or already
+// garbage-collected; requesters reconciling after a reconnect treat that
+// as "resubmit".
+func (cl *Client) TaskStatus(taskID string) (TaskStatusPayload, error) {
+	resp, err := cl.call(Message{Type: "task", TaskID: taskID})
+	if err != nil {
+		return TaskStatusPayload{}, err
+	}
+	if resp.Status == nil {
+		return TaskStatusPayload{}, fmt.Errorf("wire: task response missing payload")
+	}
+	return *resp.Status, nil
 }
 
 // Regions fetches per-region counters; single-region servers report one

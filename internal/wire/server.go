@@ -9,6 +9,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"react/internal/core"
@@ -59,11 +60,22 @@ func (r *ResultRelay) attach(fn func(core.Result)) {
 	r.fn = fn
 }
 
+// DefaultIdleTimeout is the server's per-connection read deadline: a
+// connection that sends nothing — not even a keepalive ping — for this
+// long is presumed dead and torn down, which detaches its worker and
+// returns any held task to the pool. Clients ping every DefaultKeepalive
+// (well under this) so healthy idle connections survive. Without the
+// deadline, a silently dead connection (pulled cable, NAT timeout,
+// partition) holds its worker "busy" forever.
+const DefaultIdleTimeout = 90 * time.Second
+
 // Server exposes a Backend over TCP.
 type Server struct {
 	backend Backend
 	core    *core.Server // non-nil only for single-region Serve
 	ln      net.Listener
+
+	idle atomic.Int64 // per-connection read deadline (ns); <=0 disables
 
 	mu       sync.Mutex
 	watchers map[*conn]struct{}
@@ -117,6 +129,7 @@ func ServeBackend(addr string, b Backend, relay *ResultRelay) (*Server, error) {
 		watchers: make(map[*conn]struct{}),
 		conns:    make(map[*conn]struct{}),
 	}
+	s.idle.Store(int64(DefaultIdleTimeout))
 	if relay != nil {
 		relay.attach(func(r core.Result) {
 			s.broadcast(Message{Type: "result", Result: toResultPayload(r)})
@@ -130,6 +143,11 @@ func ServeBackend(addr string, b Backend, relay *ResultRelay) (*Server, error) {
 
 // Addr reports the listening address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// SetIdleTimeout changes the per-connection read deadline (default
+// DefaultIdleTimeout). Zero or negative disables it. Existing connections
+// adopt the new value at their next frame.
+func (s *Server) SetIdleTimeout(d time.Duration) { s.idle.Store(int64(d)) }
 
 // Core exposes the underlying region server for single-region deployments
 // created with Serve; it is nil under ServeBackend.
@@ -189,7 +207,14 @@ func (s *Server) broadcast(m Message) {
 	}
 	s.mu.Unlock()
 	for _, c := range targets {
-		c.send(m) // send errors detach the conn via its read loop
+		if err := c.send(m); err != nil {
+			// A watcher that cannot be written to is dead or wedged.
+			// Close its socket so the read loop errors out and teardown
+			// removes it from s.watchers — a write error alone never
+			// wakes the read side, and without this nudge a dead watcher
+			// would stay subscribed until TCP happened to fail a read.
+			c.c.Close()
+		}
 	}
 }
 
@@ -200,12 +225,14 @@ func (c *conn) send(m Message) error {
 	return c.enc.Encode(m)
 }
 
-func (c *conn) reply(err error) {
+// reply answers one request, echoing its sequence number so the client
+// can correlate the response even after its own call timed out.
+func (c *conn) reply(seq uint64, err error) {
 	if err != nil {
-		c.send(Message{Type: "error", Error: err.Error()})
+		c.send(Message{Type: "error", Seq: seq, Error: err.Error()})
 		return
 	}
-	c.send(Message{Type: "ok"})
+	c.send(Message{Type: "ok", Seq: seq})
 }
 
 func (c *conn) readLoop() {
@@ -213,10 +240,22 @@ func (c *conn) readLoop() {
 	defer c.teardown()
 	scanner := bufio.NewScanner(c.c)
 	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	for scanner.Scan() {
+	for {
+		// Refresh the idle deadline before every frame: a connection that
+		// goes silent past it (no requests, no keepalive pings) fails the
+		// next Scan, and teardown detaches its worker within a bounded
+		// interval instead of holding it busy forever.
+		if d := time.Duration(c.srv.idle.Load()); d > 0 {
+			c.c.SetReadDeadline(time.Now().Add(d))
+		} else {
+			c.c.SetReadDeadline(time.Time{})
+		}
+		if !scanner.Scan() {
+			return // EOF, error, or idle deadline
+		}
 		var m Message
 		if err := json.Unmarshal(scanner.Bytes(), &m); err != nil {
-			c.send(Message{Type: "error", Error: "bad message: " + err.Error()})
+			c.send(Message{Type: "error", Seq: m.Seq, Error: "bad message: " + err.Error()})
 			continue
 		}
 		c.handle(m)
@@ -228,7 +267,7 @@ func (c *conn) handle(m Message) {
 	switch m.Type {
 	case "register":
 		if m.Worker == "" {
-			c.reply(errors.New("register: missing worker id"))
+			c.reply(m.Seq, errors.New("register: missing worker id"))
 			return
 		}
 		feed, err := s.backend.RegisterWorker(m.Worker, region.Point{Lat: m.Lat, Lon: m.Lon})
@@ -247,11 +286,11 @@ func (c *conn) handle(m Message) {
 			}
 		}
 		if err != nil {
-			c.reply(err)
+			c.reply(m.Seq, err)
 			return
 		}
 		c.worker = m.Worker
-		c.reply(nil)
+		c.reply(m.Seq, nil)
 		// Forward assignments until the feed closes (deregistration or
 		// server stop).
 		//lint:ignore nakedgoroutine the forwarder's lifetime is the feed channel: the backend closes it on deregister/detach/stop
@@ -266,67 +305,101 @@ func (c *conn) handle(m Message) {
 
 	case "deregister":
 		if c.worker == "" {
-			c.reply(errors.New("deregister: connection has no registered worker"))
+			c.reply(m.Seq, errors.New("deregister: connection has no registered worker"))
 			return
 		}
 		worker := c.worker
 		c.worker = "" // teardown must not deregister twice
-		c.reply(s.backend.DeregisterWorker(worker))
+		c.reply(m.Seq, s.backend.DeregisterWorker(worker))
 
 	case "location":
+		// Guard before touching the backend: probing Worker("") on an
+		// unregistered connection sent a nonsense lookup to the backend
+		// (and through a federation, a routing miss) on every bad request.
+		if c.worker == "" {
+			c.reply(m.Seq, errors.New("location: connection has no registered worker"))
+			return
+		}
 		p, ok := s.backend.Worker(c.worker)
-		if c.worker == "" || !ok {
-			c.reply(errors.New("location: connection has no registered worker"))
+		if !ok {
+			c.reply(m.Seq, errors.New("location: connection has no registered worker"))
 			return
 		}
 		loc := region.Point{Lat: m.Lat, Lon: m.Lon}
 		if !loc.Valid() {
-			c.reply(fmt.Errorf("location: invalid coordinates %v", loc))
+			c.reply(m.Seq, fmt.Errorf("location: invalid coordinates %v", loc))
 			return
 		}
 		p.SetLocation(loc)
-		c.reply(nil)
+		c.reply(m.Seq, nil)
 
 	case "available":
+		if c.worker == "" {
+			c.reply(m.Seq, errors.New("available: connection has no registered worker"))
+			return
+		}
 		p, ok := s.backend.Worker(c.worker)
-		if c.worker == "" || !ok {
-			c.reply(errors.New("available: connection has no registered worker"))
+		if !ok {
+			c.reply(m.Seq, errors.New("available: connection has no registered worker"))
 			return
 		}
 		if m.Available == nil {
-			c.reply(errors.New("available: missing value"))
+			c.reply(m.Seq, errors.New("available: missing value"))
 			return
 		}
 		p.SetAvailable(*m.Available)
-		c.reply(nil)
+		c.reply(m.Seq, nil)
 
 	case "submit":
 		if m.Task == nil || m.Task.ID == "" {
-			c.reply(errors.New("submit: missing task"))
+			c.reply(m.Seq, errors.New("submit: missing task"))
 			return
 		}
-		c.reply(s.backend.Submit(m.Task.Task(time.Now())))
+		c.reply(m.Seq, s.backend.Submit(m.Task.Task(time.Now())))
 
 	case "complete":
 		if m.TaskID == "" || m.Worker == "" {
-			c.reply(errors.New("complete: missing task or worker id"))
+			c.reply(m.Seq, errors.New("complete: missing task or worker id"))
 			return
 		}
 		_, err := s.backend.Complete(m.TaskID, m.Worker, m.Answer)
-		c.reply(err)
+		c.reply(m.Seq, err)
 
 	case "feedback":
 		if m.TaskID == "" || m.Positive == nil {
-			c.reply(errors.New("feedback: missing task id or verdict"))
+			c.reply(m.Seq, errors.New("feedback: missing task id or verdict"))
 			return
 		}
-		c.reply(s.backend.Feedback(m.TaskID, *m.Positive))
+		c.reply(m.Seq, s.backend.Feedback(m.TaskID, *m.Positive))
 
 	case "watch":
 		s.mu.Lock()
 		s.watchers[c] = struct{}{}
 		s.mu.Unlock()
-		c.reply(nil)
+		c.reply(m.Seq, nil)
+
+	case "task":
+		// Task-status query: how requesters reconcile after a reconnect,
+		// since result pushes during the outage are gone for good.
+		if m.TaskID == "" {
+			c.reply(m.Seq, errors.New("task: missing task id"))
+			return
+		}
+		type statusBackend interface {
+			TaskStatus(taskID string) (core.TaskStatus, bool)
+		}
+		sb, ok := s.backend.(statusBackend)
+		if !ok {
+			c.reply(m.Seq, errors.New("task: backend does not report task status"))
+			return
+		}
+		payload := &TaskStatusPayload{TaskID: m.TaskID, State: "unknown"}
+		if st, ok := sb.TaskStatus(m.TaskID); ok {
+			payload.State = st.State.String()
+			payload.Worker = st.Worker
+			payload.MetDeadline = st.MetDeadline
+		}
+		c.send(Message{Type: "ok", Seq: m.Seq, Status: payload})
 
 	case "regions":
 		// Multi-region backends list per-region counters; a single-region
@@ -347,18 +420,19 @@ func (c *conn) handle(m Message) {
 		} else {
 			regions = []RegionStatsPayload{{Region: "all", Stats: *toStatsPayload(s.backend.Stats())}}
 		}
-		c.send(Message{Type: "ok", Regions: regions})
+		c.send(Message{Type: "ok", Seq: m.Seq, Regions: regions})
 
 	case "ping":
-		// Keepalive: lets clients detect dead connections through NATs and
-		// lets operators probe liveness with netcat.
-		c.reply(nil)
+		// Keepalive: refreshes the server's idle deadline, lets clients
+		// detect dead connections through NATs, and lets operators probe
+		// liveness with netcat.
+		c.reply(m.Seq, nil)
 
 	case "stats":
-		c.send(Message{Type: "ok", Stats: toStatsPayload(s.backend.Stats())})
+		c.send(Message{Type: "ok", Seq: m.Seq, Stats: toStatsPayload(s.backend.Stats())})
 
 	default:
-		c.reply(errors.New("unknown message type " + m.Type))
+		c.reply(m.Seq, errors.New("unknown message type "+m.Type))
 	}
 }
 

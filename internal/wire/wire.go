@@ -22,8 +22,19 @@ import (
 // fields are meaningful.
 type Message struct {
 	Type string `json:"type"` // request: register|deregister|location|available|
-	// submit|complete|feedback|watch|stats — response: ok|error — push:
+	// submit|complete|feedback|watch|task|stats — response: ok|error — push:
 	// assignment|result
+
+	// Seq correlates a response with the request that caused it: clients
+	// stamp every request with a strictly increasing sequence number and
+	// the server echoes it on the matching ok/error frame. This is what
+	// lets a client outlive a timed-out call — the late response is
+	// recognized as stale by its old Seq and discarded instead of being
+	// mistaken for the answer to the next request. Zero means "not
+	// stamped": servers tolerate its absence and clients accept unstamped
+	// responses from legacy servers (which can only answer in order).
+	// Pushes carry no Seq.
+	Seq uint64 `json:"seq,omitempty"`
 
 	// register / deregister / location / available
 	Worker    string  `json:"worker,omitempty"`
@@ -47,6 +58,20 @@ type Message struct {
 	Result     *ResultPayload       `json:"result,omitempty"`
 	Stats      *StatsPayload        `json:"stats,omitempty"`
 	Regions    []RegionStatsPayload `json:"regions,omitempty"`
+	Status     *TaskStatusPayload   `json:"status,omitempty"`
+}
+
+// TaskStatusPayload answers a "task" status query: the lifecycle state of
+// one task. Requesters use it to reconcile after a reconnect — a result
+// pushed while the watcher was disconnected is otherwise unobservable.
+// State is one of "unassigned", "assigned", "completed", "expired", or
+// "unknown" (never submitted here, or already garbage-collected after the
+// retention window).
+type TaskStatusPayload struct {
+	TaskID      string `json:"task_id"`
+	State       string `json:"state"`
+	Worker      string `json:"worker,omitempty"`
+	MetDeadline bool   `json:"met_deadline,omitempty"`
 }
 
 // RegionStatsPayload is one region's counters in a "regions" response.

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -153,6 +154,42 @@ func TestWorkerDisconnectReturnsTask(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("task not reassigned after disconnect")
+	}
+}
+
+func TestUnregisteredConnectionErrors(t *testing.T) {
+	// Every worker-scoped request on a connection that never registered
+	// must be rejected at the guard — before any backend lookup — with an
+	// error naming the problem. (The location/available handlers used to
+	// probe the backend with an empty worker id first.)
+	cases := []struct {
+		name string
+		call func(c *Client) error
+	}{
+		{"location", func(c *Client) error { return c.SetLocation(37.98, 23.73) }},
+		{"available", func(c *Client) error { return c.SetAvailable(true) }},
+		{"deregister", func(c *Client) error { return c.Deregister() }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := startServer(t)
+			c := dial(t, s)
+			err := tc.call(c)
+			if err == nil {
+				t.Fatalf("%s accepted on unregistered connection", tc.name)
+			}
+			var se *ServerError
+			if !errors.As(err, &se) {
+				t.Fatalf("%s error = %v, want server rejection", tc.name, err)
+			}
+			if !strings.Contains(err.Error(), "no registered worker") {
+				t.Fatalf("%s error = %v, want 'no registered worker'", tc.name, err)
+			}
+			// The rejection must not have wedged the connection.
+			if err := c.Ping(); err != nil {
+				t.Fatalf("connection dead after rejection: %v", err)
+			}
+		})
 	}
 }
 
@@ -385,6 +422,48 @@ func TestSecondLiveConnectionRejected(t *testing.T) {
 	w2 := dial(t, s)
 	if err := w2.Register("solo", 1, 1); err == nil {
 		t.Fatal("second live connection for the same worker accepted")
+	}
+}
+
+func TestTaskStatusQuery(t *testing.T) {
+	s := startServer(t)
+	c := dial(t, s)
+	// Unknown task: reported, not an error — reconciling requesters use
+	// "unknown" as the resubmit signal.
+	st, err := c.TaskStatus("never-submitted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "unknown" {
+		t.Fatalf("state = %q, want unknown", st.State)
+	}
+	// Missing id: rejected.
+	if _, err := c.TaskStatus(""); err == nil {
+		t.Fatal("empty task id accepted")
+	}
+	// Live task: tracked through its lifecycle.
+	w := dial(t, s)
+	if err := w.Register("alice", 37.98, 23.73); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(testTask("t1")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case a := <-w.Assignments():
+		st, err = c.TaskStatus("t1")
+		if err != nil || st.State != "assigned" || st.Worker != "alice" {
+			t.Fatalf("assigned status = %+v, %v", st, err)
+		}
+		if err := w.Complete(a.TaskID, "alice", "ok"); err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("assignment never arrived")
+	}
+	st, err = c.TaskStatus("t1")
+	if err != nil || st.State != "completed" || !st.MetDeadline {
+		t.Fatalf("completed status = %+v, %v", st, err)
 	}
 }
 
