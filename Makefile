@@ -3,7 +3,7 @@
 GO ?= go
 # Packages with real goroutine concurrency; the race detector gates them
 # on every change.
-RACE_PKGS = ./internal/core ./internal/wire ./internal/federation ./internal/taskq ./internal/faultnet
+RACE_PKGS = ./internal/engine ./internal/core ./internal/wire ./internal/federation ./internal/taskq ./internal/faultnet
 
 .PHONY: all build lint vet test race chaos determinism ci
 
@@ -37,13 +37,20 @@ chaos:
 # Two same-seed simulation runs must produce byte-identical reports —
 # the reproducibility property the linter exists to protect. Figures
 # 3/4 are excluded: they measure real matcher wall time by design.
+# Figure 5 is additionally diffed against a checked-in golden file so
+# refactors of the scheduling path can't silently shift the numbers.
 determinism:
 	$(GO) build -o /tmp/reactsim-determinism ./cmd/reactsim
 	@for fig in 5 6 7 8 9 10; do \
 		/tmp/reactsim-determinism -fig $$fig -quick -seed 7 > /tmp/reactsim-det-a || exit 1; \
 		/tmp/reactsim-determinism -fig $$fig -quick -seed 7 > /tmp/reactsim-det-b || exit 1; \
 		cmp /tmp/reactsim-det-a /tmp/reactsim-det-b || { echo "fig $$fig NOT deterministic"; exit 1; }; \
-		echo "fig $$fig: byte-identical"; \
+		if [ $$fig = 5 ]; then \
+			cmp /tmp/reactsim-det-a testdata/golden_fig5_seed7.txt || { echo "fig 5 DIVERGES from testdata/golden_fig5_seed7.txt"; exit 1; }; \
+			echo "fig 5: byte-identical + matches golden"; \
+		else \
+			echo "fig $$fig: byte-identical"; \
+		fi; \
 	done
 
 ci: build lint test race chaos determinism

@@ -66,9 +66,9 @@ func runStats(c *wire.Client) {
 	if err != nil {
 		log.Fatalf("reactctl: %v", err)
 	}
-	fmt.Printf("received    %d\nassigned    %d\ncompleted   %d\non-time     %d\nexpired     %d\nreassigned  %d\nbatches     %d\nworkers     %d\n",
+	fmt.Printf("received    %d\nassigned    %d\ncompleted   %d\non-time     %d\nexpired     %d\nreassigned  %d\nbatches     %d\nworkers     %d (known %d)\n",
 		st.Received, st.Assigned, st.Completed, st.OnTime, st.Expired,
-		st.Reassigned, st.Batches, st.WorkersOnline)
+		st.Reassigned, st.Batches, st.WorkersOnline, st.WorkersKnown)
 }
 
 func runRegions(c *wire.Client) {

@@ -43,6 +43,7 @@ func main() {
 	grid := flag.String("grid", "", "multi-region mode: \"RxC\" decomposition of -area (e.g. 2x2); empty = single region")
 	area := flag.String("area", "37.8,23.5,38.2,24.0", "geographic area as minLat,minLon,maxLat,maxLon (multi-region mode)")
 	idleTimeout := flag.Duration("idle-timeout", wire.DefaultIdleTimeout, "drop connections silent for this long (0 disables); clients keepalive-ping well under it")
+	shards := flag.Int("shards", 0, "task-bookkeeping stripes in the scheduling engine (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	var matcher matching.Matcher
@@ -66,6 +67,7 @@ func main() {
 		Matcher:       matcher,
 		MonitorPeriod: *monitorPeriod,
 		Retention:     *retention,
+		Shards:        *shards,
 		Schedule: schedule.Config{
 			BatchBound:    *batchBound,
 			BatchPeriod:   *batchPeriod,
@@ -114,9 +116,9 @@ func main() {
 			defer ticker.Stop()
 			for range ticker.C {
 				st := srv.Backend().Stats()
-				log.Printf("stats received=%d assigned=%d completed=%d ontime=%d expired=%d reassigned=%d batches=%d workers=%d",
+				log.Printf("stats received=%d assigned=%d completed=%d ontime=%d expired=%d reassigned=%d batches=%d workers=%d known=%d",
 					st.Received, st.Assigned, st.Completed, st.OnTime,
-					st.Expired, st.Reassigned, st.Batches, st.WorkersOnline)
+					st.Expired, st.Reassigned, st.Batches, st.WorkersOnline, st.WorkersKnown)
 			}
 		}()
 	}

@@ -72,8 +72,9 @@ func main() {
 		rep.Submitted, rep.Results, rep.OnTime,
 		100*float64(rep.OnTime)/float64(max(rep.Submitted, 1)),
 		rep.Late, rep.Expired, rep.Positive, rep.Wall.Round(time.Millisecond))
-	fmt.Printf("server: assigned %d, reassigned %d, batches %d, workers online %d\n",
-		rep.Server.Assigned, rep.Server.Reassigned, rep.Server.Batches, rep.Server.WorkersOnline)
+	fmt.Printf("server: assigned %d, reassigned %d, batches %d, workers online %d (known %d)\n",
+		rep.Server.Assigned, rep.Server.Reassigned, rep.Server.Batches,
+		rep.Server.WorkersOnline, rep.Server.WorkersKnown)
 	if *chaos {
 		fmt.Printf("chaos: reconnects %d, resubmitted %d, reconciled %d, stale responses %d, mismatched %d\n",
 			rep.Reconnects, rep.Resubmitted, rep.Reconciled, rep.Stale, rep.Mismatched)

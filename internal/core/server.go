@@ -1,13 +1,14 @@
 // Package core assembles the four REACT components (Figure 1) into the
-// deployable region server: the Profiling Component (worker registry), the
-// Task Management Component (task registry), the Scheduling Component
-// (batched WBGM), and the Dynamic Assignment Component (Eq. 2 monitor).
+// deployable region server. The control logic itself — batch trigger, WBGM
+// scheduling, assignment application, Eq. 2 monitoring, expiry, retention —
+// lives in internal/engine and is shared verbatim with the deterministic
+// harness in internal/experiments; core adds what a live deployment needs
+// on top: lifecycle goroutines that tick the engine against a real clock,
+// and per-worker assignment feeds (channels) behind the engine's Deliver
+// hook.
 //
-// Unlike the deterministic harness in internal/experiments, this server
-// runs against a real clock with background goroutines, and communicates
-// assignments to workers over channels — it is the middleware a deployment
-// (cmd/reactd, the examples) actually embeds. It still accepts any
-// clock.Clock, so integration tests drive it with a virtual clock.
+// It still accepts any clock.Clock, so integration tests drive it with a
+// virtual clock.
 package core
 
 import (
@@ -19,6 +20,7 @@ import (
 
 	"react/internal/clock"
 	"react/internal/dynassign"
+	"react/internal/engine"
 	"react/internal/matching"
 	"react/internal/profile"
 	"react/internal/region"
@@ -28,25 +30,10 @@ import (
 
 // Assignment is the notification a worker receives when the scheduler binds
 // a task to them.
-type Assignment struct {
-	TaskID      string
-	WorkerID    string
-	Category    string
-	Description string
-	Location    region.Point
-	Deadline    time.Time
-	Reward      float64
-}
+type Assignment = engine.Assignment
 
 // Result is delivered to the requester side when a task terminates.
-type Result struct {
-	TaskID      string
-	WorkerID    string // "" when the task expired unassigned
-	Answer      string
-	FinishedAt  time.Time
-	MetDeadline bool
-	Expired     bool
-}
+type Result = engine.Result
 
 // Options configures a Server. Zero fields take the paper's defaults.
 type Options struct {
@@ -57,6 +44,7 @@ type Options struct {
 	MonitorPeriod time.Duration // Eq. 2 sweep period (default 1s)
 	BatchPoll     time.Duration // batch-trigger poll period (default 200ms)
 	QueueDepth    int           // per-worker assignment channel depth (default 8)
+	Shards        int           // task/feed bookkeeping stripes (default GOMAXPROCS)
 
 	// OnResult, if set, is invoked for every terminating task (completion
 	// or expiry). Called from server goroutines; implementations must not
@@ -77,11 +65,6 @@ func (o Options) normalize() Options {
 	if o.Clock == nil {
 		o.Clock = clock.System{}
 	}
-	if o.Matcher == nil {
-		o.Matcher = matching.REACT{Adaptive: true}
-	}
-	o.Schedule = o.Schedule.Normalize()
-	o.Monitor = o.Monitor.Normalize()
 	if o.MonitorPeriod <= 0 {
 		o.MonitorPeriod = time.Second
 	}
@@ -96,33 +79,38 @@ func (o Options) normalize() Options {
 
 // Errors returned by the server API.
 var (
-	ErrStopped     = errors.New("core: server stopped")
-	ErrNotAssigned = errors.New("core: task not assigned to this worker")
+	ErrStopped = errors.New("core: server stopped")
+	// ErrNotAssigned rejects a Complete for a task the worker does not hold.
+	ErrNotAssigned = engine.ErrNotAssigned
+	// ErrNoWorker rejects Feedback for a task with no worker to credit.
+	ErrNoWorker = engine.ErrNoWorker
 )
 
 // Stats is a snapshot of the server's counters.
 type Stats struct {
-	Received      int64
-	Assigned      int64
-	Completed     int64
-	OnTime        int64
-	Expired       int64
-	Reassigned    int64
-	Batches       int64
-	MatcherTime   time.Duration
+	Received    int64
+	Assigned    int64
+	Completed   int64
+	OnTime      int64
+	Expired     int64
+	Reassigned  int64
+	Batches     int64
+	MatcherTime time.Duration
+	// WorkersOnline counts connected workers (busy or idle). WorkersKnown
+	// counts every profile the server remembers, including detached
+	// workers whose history is retained for their return.
 	WorkersOnline int
+	WorkersKnown  int
 }
 
-// Server is one REACT region server.
+// Server is one REACT region server: the shared scheduling engine plus the
+// live-deployment shell (ticker goroutines, channel feeds).
 type Server struct {
-	opts    Options
-	workers *profile.Registry
-	tasks   *taskq.Manager
-	trigger *schedule.Trigger
+	opts  Options
+	eng   *engine.Engine
+	feeds feedTable
 
-	mu     sync.Mutex // guards trigger, feeds, stats, stopped
-	feeds  map[string]chan Assignment
-	stats  Stats
+	mu     sync.Mutex // guards closed (feeds shard their own locks)
 	stop   chan struct{}
 	wg     sync.WaitGroup
 	closed bool
@@ -131,25 +119,44 @@ type Server struct {
 // New creates a server; call Start to launch its background loops.
 func New(opts Options) *Server {
 	opts = opts.normalize()
-	return &Server{
-		opts:    opts,
-		workers: profile.NewRegistry(),
-		tasks:   taskq.NewManager(opts.Clock),
-		trigger: schedule.NewTrigger(opts.Schedule, opts.Clock.Now()),
-		feeds:   make(map[string]chan Assignment),
-		stop:    make(chan struct{}),
+	s := &Server{
+		opts: opts,
+		stop: make(chan struct{}),
 	}
+	s.eng = engine.New(engine.Config{
+		Clock:     opts.Clock,
+		Matcher:   opts.Matcher,
+		Schedule:  opts.Schedule,
+		Monitor:   opts.Monitor,
+		Shards:    opts.Shards,
+		Retention: opts.Retention,
+	}, engine.Hooks{
+		Deliver: s.deliver,
+		OnExpire: func(rec taskq.Record) {
+			if opts.OnResult != nil {
+				opts.OnResult(Result{
+					TaskID: rec.Task.ID, FinishedAt: rec.FinishedAt, Expired: true,
+				})
+			}
+		},
+		OnReassign: opts.OnReassign,
+	})
+	s.feeds.init(s.eng.Tasks().Shards())
+	return s
 }
 
 // Workers exposes the profiling component (read-mostly; used by tools).
-func (s *Server) Workers() *profile.Registry { return s.workers }
+func (s *Server) Workers() *profile.Registry { return s.eng.Workers() }
 
 // Worker looks up one worker's profile — the Backend-interface form of
 // Workers().Get used by transports that also serve federations.
-func (s *Server) Worker(id string) (*profile.Profile, bool) { return s.workers.Get(id) }
+func (s *Server) Worker(id string) (*profile.Profile, bool) { return s.eng.Workers().Get(id) }
 
 // Tasks exposes the task-management component.
-func (s *Server) Tasks() *taskq.Manager { return s.tasks }
+func (s *Server) Tasks() *engine.TaskStore { return s.eng.Tasks() }
+
+// Engine exposes the shared scheduling engine itself.
+func (s *Server) Engine() *engine.Engine { return s.eng }
 
 // Start launches the batch and monitor loops.
 func (s *Server) Start() {
@@ -169,12 +176,7 @@ func (s *Server) Stop() {
 	close(s.stop)
 	s.mu.Unlock()
 	s.wg.Wait()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for id, ch := range s.feeds {
-		close(ch)
-		delete(s.feeds, id)
-	}
+	s.feeds.closeAll()
 }
 
 // RegisterWorker adds a worker and returns the channel on which the worker
@@ -185,37 +187,21 @@ func (s *Server) RegisterWorker(id string, loc region.Point) (<-chan Assignment,
 	if s.closed {
 		return nil, ErrStopped
 	}
-	if _, err := s.workers.Register(id, loc); err != nil {
+	if _, err := s.eng.AttachWorker(id, loc); err != nil {
 		return nil, err
 	}
 	ch := make(chan Assignment, s.opts.QueueDepth)
-	s.feeds[id] = ch
+	s.feeds.put(id, ch)
 	return ch, nil
 }
 
 // DeregisterWorker removes a worker. Any task it held is returned to the
 // pool for reassignment.
 func (s *Server) DeregisterWorker(id string) error {
-	p, ok := s.workers.Get(id)
-	if !ok {
-		return fmt.Errorf("%w: %q", profile.ErrUnknownWorker, id)
-	}
-	if taskID := p.CurrentTask(); taskID != "" {
-		if err := s.tasks.Unassign(taskID); err == nil {
-			s.mu.Lock()
-			s.stats.Reassigned++
-			s.mu.Unlock()
-		}
-	}
-	if err := s.workers.Deregister(id); err != nil {
+	if err := s.eng.DeregisterWorker(id); err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if ch, ok := s.feeds[id]; ok {
-		close(ch)
-		delete(s.feeds, id)
-	}
+	s.feeds.drop(id)
 	return nil
 }
 
@@ -225,73 +211,26 @@ func (s *Server) DeregisterWorker(id string) error {
 // "short connectivity cycles" (§I) and their learned history must survive
 // them. Compare DeregisterWorker, which forgets the worker entirely.
 func (s *Server) DetachWorker(id string) error {
-	p, ok := s.workers.Get(id)
-	if !ok {
-		return fmt.Errorf("%w: %q", profile.ErrUnknownWorker, id)
+	if err := s.eng.DetachWorker(id); err != nil {
+		return err
 	}
-	if taskID := p.CurrentTask(); taskID != "" {
-		if err := s.tasks.Unassign(taskID); err == nil {
-			s.mu.Lock()
-			s.stats.Reassigned++
-			s.mu.Unlock()
-		}
-		p.MarkIdle()
-	}
-	p.SetAvailable(false)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if ch, ok := s.feeds[id]; ok {
-		close(ch)
-		delete(s.feeds, id)
-	}
+	s.feeds.drop(id)
 	return nil
 }
 
 // Submit places a task into the system.
 func (s *Server) Submit(t taskq.Task) error {
-	if err := s.tasks.Submit(t); err != nil {
-		return err
-	}
-	s.mu.Lock()
-	s.stats.Received++
-	s.mu.Unlock()
-	return nil
+	return s.eng.Submit(t)
 }
 
 // Complete records a worker's answer for a task it holds. The execution
 // time feeds the worker's power-law model immediately; the accuracy update
 // waits for requester Feedback.
 func (s *Server) Complete(taskID, workerID, answer string) (Result, error) {
-	rec, ok := s.tasks.Get(taskID)
-	if !ok {
-		return Result{}, fmt.Errorf("%w: %q", taskq.ErrUnknownTask, taskID)
-	}
-	if rec.Status != taskq.Assigned || rec.Worker != workerID {
-		return Result{}, fmt.Errorf("%w: task %q held by %q", ErrNotAssigned, taskID, rec.Worker)
-	}
-	final, err := s.tasks.Complete(taskID)
+	res, _, err := s.eng.Complete(taskID, workerID, answer)
 	if err != nil {
 		return Result{}, err
 	}
-	if p, ok := s.workers.Get(workerID); ok {
-		p.RecordExecTime(final.ExecTime().Seconds())
-		if p.CurrentTask() == taskID {
-			p.MarkIdle()
-		}
-	}
-	res := Result{
-		TaskID:      taskID,
-		WorkerID:    workerID,
-		Answer:      answer,
-		FinishedAt:  final.FinishedAt,
-		MetDeadline: final.MetDeadline(),
-	}
-	s.mu.Lock()
-	s.stats.Completed++
-	if res.MetDeadline {
-		s.stats.OnTime++
-	}
-	s.mu.Unlock()
 	if s.opts.OnResult != nil {
 		s.opts.OnResult(res)
 	}
@@ -301,19 +240,11 @@ func (s *Server) Complete(taskID, workerID, answer string) (Result, error) {
 // Feedback records the requester's verdict on a completed task, updating
 // the worker's per-category accuracy (Eq. 1 numerator/denominator). A task
 // can be graded once; repeats are rejected so accuracy counters cannot be
-// inflated.
+// inflated. Feedback for a task that never reached a worker (expired
+// unassigned) or whose worker deregistered returns ErrNoWorker without
+// consuming the grade.
 func (s *Server) Feedback(taskID string, positive bool) error {
-	rec, ok := s.tasks.Get(taskID)
-	if !ok {
-		return fmt.Errorf("%w: %q", taskq.ErrUnknownTask, taskID)
-	}
-	if err := s.tasks.MarkGraded(taskID); err != nil {
-		return err
-	}
-	if p, ok := s.workers.Get(rec.Worker); ok {
-		p.RecordFeedback(rec.Task.Category, positive)
-	}
-	return nil
+	return s.eng.Feedback(taskID, positive)
 }
 
 // TaskStatus is a point-in-time view of one task's lifecycle, served to
@@ -330,7 +261,7 @@ type TaskStatus struct {
 // task was never submitted here or its terminal record has already been
 // garbage-collected past the retention window.
 func (s *Server) TaskStatus(taskID string) (TaskStatus, bool) {
-	rec, ok := s.tasks.Get(taskID)
+	rec, ok := s.eng.Tasks().Get(taskID)
 	if !ok {
 		return TaskStatus{}, false
 	}
@@ -344,18 +275,27 @@ func (s *Server) TaskStatus(taskID string) (TaskStatus, bool) {
 
 // Stats snapshots the counters.
 func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := s.stats
-	st.WorkersOnline = s.workers.Size()
-	return st
+	est := s.eng.Stats()
+	reg := s.eng.Workers()
+	return Stats{
+		Received:      est.Received,
+		Assigned:      est.Assigned,
+		Completed:     est.Completed,
+		OnTime:        est.OnTime,
+		Expired:       est.Expired,
+		Reassigned:    est.Reassigned,
+		Batches:       est.Batches,
+		MatcherTime:   est.MatcherTime,
+		WorkersOnline: reg.CountConnected(),
+		WorkersKnown:  reg.Size(),
+	}
 }
 
 // SaveProfiles persists the profiling component (worker histories, models,
 // reward ranges) so a restarted server keeps its learned state rather than
 // re-training every worker through z tasks.
 func (s *Server) SaveProfiles(w io.Writer) error {
-	return s.workers.WriteSnapshot(w)
+	return s.eng.Workers().WriteSnapshot(w)
 }
 
 // LoadProfiles restores a previously saved profiling component. Restored
@@ -364,33 +304,48 @@ func (s *Server) SaveProfiles(w io.Writer) error {
 // traffic; a loaded worker that re-registers by id is rejected as a
 // duplicate — deployments reconnect workers via ReconnectWorker).
 func (s *Server) LoadProfiles(r io.Reader) (int, error) {
-	return s.workers.ReadSnapshot(r)
+	return s.eng.Workers().ReadSnapshot(r)
 }
 
 // ReconnectWorker re-attaches a worker restored by LoadProfiles: it marks
 // the profile available again and opens a fresh assignment feed. Unknown
 // workers fall back to plain registration semantics via RegisterWorker.
 func (s *Server) ReconnectWorker(id string) (<-chan Assignment, error) {
-	p, ok := s.workers.Get(id)
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", profile.ErrUnknownWorker, id)
-	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil, ErrStopped
 	}
-	if _, exists := s.feeds[id]; exists {
+	if s.feeds.has(id) {
 		return nil, fmt.Errorf("core: worker %q already connected", id)
 	}
-	p.SetAvailable(true)
+	if _, err := s.eng.ReattachWorker(id); err != nil {
+		return nil, err
+	}
 	ch := make(chan Assignment, s.opts.QueueDepth)
-	s.feeds[id] = ch
+	s.feeds.put(id, ch)
 	return ch, nil
 }
 
-// batchLoop polls the trigger, runs matching batches, applies assignments,
-// and expires overdue unassigned tasks.
+// deliver is the engine's transport hook: push the assignment onto the
+// worker's feed without blocking. A missing or full feed refuses the
+// delivery, which makes the engine revoke the binding rather than let the
+// task rot in a channel.
+func (s *Server) deliver(a Assignment) bool {
+	feed := s.feeds.get(a.WorkerID)
+	if feed == nil {
+		return false
+	}
+	select {
+	case feed <- a:
+		return true
+	default:
+		return false
+	}
+}
+
+// batchLoop ticks the engine: retention GC, expiry of overdue unassigned
+// tasks, and the batch trigger.
 func (s *Server) batchLoop() {
 	defer s.wg.Done()
 	//lint:ignore clockdiscipline the ticker only paces polling; every scheduling decision reads the injected opts.Clock
@@ -402,96 +357,7 @@ func (s *Server) batchLoop() {
 			return
 		case <-ticker.C:
 		}
-		now := s.opts.Clock.Now()
-		if s.opts.Retention > 0 {
-			s.tasks.ForgetTerminatedBefore(now.Add(-s.opts.Retention))
-		}
-		for _, rec := range s.tasks.ExpireUnassigned() {
-			s.mu.Lock()
-			s.stats.Expired++
-			s.mu.Unlock()
-			if s.opts.OnResult != nil {
-				s.opts.OnResult(Result{
-					TaskID: rec.Task.ID, FinishedAt: rec.FinishedAt, Expired: true,
-				})
-			}
-		}
-		s.mu.Lock()
-		due := s.trigger.Due(s.tasks.UnassignedCount(), now)
-		s.mu.Unlock()
-		if !due {
-			continue
-		}
-		s.runBatch(now)
-	}
-}
-
-func (s *Server) runBatch(now time.Time) {
-	avail := s.workers.Available()
-	unassigned := s.tasks.Unassigned()
-	if len(avail) == 0 || len(unassigned) == 0 {
-		return
-	}
-	batch, err := schedule.Run(s.opts.Schedule, s.opts.Matcher, avail, unassigned, now)
-	if err != nil {
-		return
-	}
-	s.mu.Lock()
-	s.trigger.Ran(now)
-	s.stats.Batches++
-	s.stats.MatcherTime += batch.Elapsed
-	s.mu.Unlock()
-
-	byID := make(map[string]taskq.Task, len(unassigned))
-	for _, t := range unassigned {
-		byID[t.ID] = t
-	}
-	for taskID, workerID := range batch.Assignments {
-		p, ok := s.workers.Get(workerID)
-		if !ok || !p.Available() {
-			continue
-		}
-		if err := s.tasks.Assign(taskID, workerID); err != nil {
-			continue
-		}
-		task := byID[taskID]
-		a := Assignment{
-			TaskID:      taskID,
-			WorkerID:    workerID,
-			Category:    task.Category,
-			Description: task.Description,
-			Location:    task.Location,
-			Deadline:    task.Deadline,
-			Reward:      task.Reward,
-		}
-		// Mark busy BEFORE the assignment becomes visible on the feed: a
-		// fast worker may Complete the task (and clear the busy mark)
-		// before this goroutine resumes, and marking busy afterwards would
-		// wedge the worker permanently.
-		p.MarkBusy(taskID)
-		s.mu.Lock()
-		feed := s.feeds[workerID]
-		s.mu.Unlock()
-		delivered := false
-		if feed != nil {
-			select {
-			case feed <- a:
-				delivered = true
-			default:
-				// Worker not draining its feed: revoke rather than let the
-				// task rot in a channel.
-			}
-		}
-		if !delivered {
-			s.tasks.Unassign(taskID)
-			if p.CurrentTask() == taskID {
-				p.MarkIdle()
-			}
-			continue
-		}
-		s.mu.Lock()
-		s.stats.Assigned++
-		s.mu.Unlock()
+		s.eng.Tick()
 	}
 }
 
@@ -507,23 +373,87 @@ func (s *Server) monitorLoop() {
 			return
 		case <-ticker.C:
 		}
-		now := s.opts.Clock.Now()
-		for _, d := range s.opts.Monitor.Sweep(s.workers, s.tasks, now) {
-			if !d.Reassign {
-				continue
-			}
-			if err := s.tasks.Unassign(d.TaskID); err != nil {
-				continue
-			}
-			if p, ok := s.workers.Get(d.Worker); ok && p.CurrentTask() == d.TaskID {
-				p.MarkIdle()
-			}
-			s.mu.Lock()
-			s.stats.Reassigned++
-			s.mu.Unlock()
-			if s.opts.OnReassign != nil {
-				s.opts.OnReassign(d.TaskID, d.Worker, d.Probability)
-			}
+		s.eng.TickMonitor()
+	}
+}
+
+// feedTable stripes the per-worker assignment channels across the same
+// shard count as the task store, so feed lookups during a batch never
+// funnel through one lock.
+type feedTable struct {
+	shards []feedShard
+}
+
+type feedShard struct {
+	mu sync.Mutex
+	m  map[string]chan Assignment
+}
+
+func (t *feedTable) init(n int) {
+	if n < 1 {
+		n = 1
+	}
+	t.shards = make([]feedShard, n)
+	for i := range t.shards {
+		t.shards[i].m = make(map[string]chan Assignment)
+	}
+}
+
+func (t *feedTable) shard(id string) *feedShard {
+	if len(t.shards) == 1 {
+		return &t.shards[0]
+	}
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(id); i++ {
+		h = (h ^ uint32(id[i])) * prime32
+	}
+	return &t.shards[h%uint32(len(t.shards))]
+}
+
+func (t *feedTable) put(id string, ch chan Assignment) {
+	sh := t.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.m[id] = ch
+}
+
+func (t *feedTable) get(id string) chan Assignment {
+	sh := t.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.m[id]
+}
+
+func (t *feedTable) has(id string) bool {
+	sh := t.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, ok := sh.m[id]
+	return ok
+}
+
+func (t *feedTable) drop(id string) {
+	sh := t.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if ch, ok := sh.m[id]; ok {
+		close(ch)
+		delete(sh.m, id)
+	}
+}
+
+func (t *feedTable) closeAll() {
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for id, ch := range sh.m {
+			close(ch)
+			delete(sh.m, id)
 		}
+		sh.mu.Unlock()
 	}
 }

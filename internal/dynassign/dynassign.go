@@ -86,10 +86,22 @@ func (m Monitor) Evaluate(p *profile.Profile, rec taskq.Record, now time.Time) D
 	return d
 }
 
+// WorkerDirectory is the worker-lookup surface the sweep needs; satisfied
+// by *profile.Registry.
+type WorkerDirectory interface {
+	Get(id string) (*profile.Profile, bool)
+}
+
+// AssignedSource is the executing-task snapshot the sweep walks; satisfied
+// by *taskq.Manager and the engine's sharded task store.
+type AssignedSource interface {
+	AssignedTasks() []taskq.Record
+}
+
 // Sweep evaluates every currently assigned task. Workers missing from the
 // registry (departed mid-task) are reported for reassignment with
 // ReasonNoWorker.
-func (m Monitor) Sweep(reg *profile.Registry, tm *taskq.Manager, now time.Time) []Decision {
+func (m Monitor) Sweep(reg WorkerDirectory, tm AssignedSource, now time.Time) []Decision {
 	m = m.Normalize()
 	records := tm.AssignedTasks()
 	out := make([]Decision, 0, len(records))

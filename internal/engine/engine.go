@@ -1,0 +1,539 @@
+// Package engine is the transport-agnostic REACT scheduling engine: the
+// paper's four components (profiling, task management, scheduling, dynamic
+// assignment) wired into one control loop that owns the batch trigger, edge
+// construction and WBGM invocation, assignment application, the Eq. 2
+// monitor sweep, unassigned-task expiry, and terminal-record retention.
+//
+// The engine has no goroutines, timers, or sockets of its own — it is
+// driven entirely by explicit calls (Submit, Complete, Feedback,
+// AttachWorker, DetachWorker, Tick, TickMonitor, TryBatch). That lets two
+// very different hosts share it verbatim:
+//
+//   - internal/core runs it against a real clock, calling Tick and
+//     TickMonitor from ticker goroutines and delivering assignments over
+//     channels via the Deliver hook;
+//   - internal/experiments schedules the same calls as discrete events on
+//     sim.Engine's virtual clock, injecting the modelled matcher latency of
+//     DESIGN.md §2 through Config.Latency/Config.Defer.
+//
+// The CI determinism gate (same-seed figure runs byte-identical, diffed
+// against a pre-refactor golden series in testdata/) is the proof both
+// drive modes execute one logic.
+//
+// Task bookkeeping is striped across Config.Shards taskq shards and the
+// counters are atomics, so completions, feedback, and submissions arriving
+// concurrently no longer serialize behind a single global mutex or behind a
+// running batch (see TaskStore).
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"react/internal/clock"
+	"react/internal/dynassign"
+	"react/internal/matching"
+	"react/internal/profile"
+	"react/internal/region"
+	"react/internal/schedule"
+	"react/internal/taskq"
+)
+
+// Assignment is the notification a worker receives when the scheduler binds
+// a task to them.
+type Assignment struct {
+	TaskID      string
+	WorkerID    string
+	Category    string
+	Description string
+	Location    region.Point
+	Deadline    time.Time
+	Reward      float64
+	AssignedAt  time.Time // instant the binding was applied (staleness checks)
+}
+
+// Result is delivered to the requester side when a task terminates.
+type Result struct {
+	TaskID      string
+	WorkerID    string // "" when the task expired unassigned
+	Answer      string
+	FinishedAt  time.Time
+	MetDeadline bool
+	Expired     bool
+}
+
+// BatchInfo describes one completed scheduling round for the OnBatch hook.
+type BatchInfo struct {
+	Workers      int           // available workers in the snapshot
+	Tasks        int           // unassigned tasks in the snapshot
+	Edges        int           // edges instantiated by Eq. 3 construction
+	PrunedProb   int           // edges dropped by the probability bound
+	PrunedReward int           // edges dropped by the reward-range filter
+	Cycles       int           // matcher iterations consumed
+	Assignments  int           // bindings the matcher proposed
+	Elapsed      time.Duration // measured matcher wall time
+	Latency      time.Duration // modelled latency charged via Config.Defer (0 live)
+}
+
+// Hooks are the engine's observation and transport points. All hooks are
+// optional; they are invoked synchronously from whichever call drove the
+// engine, so implementations must not block and must not re-enter TryBatch.
+type Hooks struct {
+	// Deliver hands a freshly applied assignment to the transport. Returning
+	// false (worker unreachable, feed full) makes the engine revoke the
+	// binding: the task returns to the pool and the worker is marked idle.
+	// A nil Deliver accepts every assignment.
+	Deliver func(Assignment) bool
+	// OnAssign fires after an assignment is applied and delivered.
+	OnAssign func(Assignment)
+	// OnReassign fires when the Eq. 2 monitor (or a worker detach) revokes
+	// an assignment. probability is the Eq. 2 value (0 for detaches).
+	OnReassign func(taskID, workerID string, probability float64)
+	// OnExpire fires for every task that leaves the repository unserved.
+	OnExpire func(rec taskq.Record)
+	// OnBatch fires once per scheduling round, before assignments apply.
+	OnBatch func(BatchInfo)
+}
+
+// Config parameterizes an Engine. Zero fields take the paper's defaults.
+type Config struct {
+	Clock    clock.Clock      // default clock.System{}
+	Matcher  matching.Matcher // default REACT with adaptive cycles
+	Schedule schedule.Config  // batching, pruning, weights
+	Monitor  dynassign.Monitor
+	// Shards stripes the task bookkeeping; default GOMAXPROCS. The stripe
+	// count never changes observable behaviour (snapshots re-sort
+	// globally), only lock contention.
+	Shards int
+	// Retention bounds how long terminal task records are kept for late
+	// Feedback. Zero keeps everything.
+	Retention time.Duration
+	// Latency models the matcher's wall time for one batch (the analytic
+	// model of DESIGN.md §2). Nil charges nothing: the batch applies with
+	// the real elapsed time already spent.
+	Latency func(tasks, workers, edges, cycles int) time.Duration
+	// Defer postpones batch application by the modelled latency. The
+	// experiments harness points this at sim.Engine.After so the virtual
+	// clock pays the charge; nil applies assignments synchronously (live
+	// mode). Defer must only schedule fn, never run it inline.
+	Defer func(d time.Duration, fn func(now time.Time))
+}
+
+func (c Config) normalize() Config {
+	if c.Clock == nil {
+		c.Clock = clock.System{}
+	}
+	if c.Matcher == nil {
+		c.Matcher = matching.REACT{Adaptive: true}
+	}
+	c.Schedule = c.Schedule.Normalize()
+	c.Monitor = c.Monitor.Normalize()
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Errors returned by the engine API.
+var (
+	// ErrNotAssigned rejects a Complete for a task the worker does not hold.
+	ErrNotAssigned = errors.New("engine: task not assigned to this worker")
+	// ErrNoWorker rejects Feedback for a task with no worker profile to
+	// credit: the task expired unassigned, or its worker deregistered. The
+	// grade is not consumed, so the requester learns it went nowhere
+	// instead of silently losing the accuracy update.
+	ErrNoWorker = errors.New("engine: no worker to credit feedback to")
+)
+
+// Stats is a snapshot of the engine's counters.
+type Stats struct {
+	Received    int64
+	Assigned    int64
+	Completed   int64
+	OnTime      int64
+	Expired     int64
+	Reassigned  int64
+	Batches     int64
+	MatcherTime time.Duration
+}
+
+// counters hold the live stats as atomics so the hot paths never take a
+// stats lock.
+type counters struct {
+	received   atomic.Int64
+	assigned   atomic.Int64
+	completed  atomic.Int64
+	onTime     atomic.Int64
+	expired    atomic.Int64
+	reassigned atomic.Int64
+	batches    atomic.Int64
+	matcherNs  atomic.Int64
+}
+
+// Engine is one REACT scheduling engine instance.
+type Engine struct {
+	cfg     Config
+	hooks   Hooks
+	workers *profile.Registry
+	tasks   *TaskStore
+
+	// batchMu serializes the trigger check, the scheduling round, and
+	// assignment application; inFlight is set while a deferred batch waits
+	// for its modelled latency to elapse.
+	batchMu  sync.Mutex
+	trigger  *schedule.Trigger
+	inFlight bool
+
+	ctr counters
+}
+
+// New creates an engine. The first batch is considered due immediately
+// (the trigger's last run is backdated one period).
+func New(cfg Config, hooks Hooks) *Engine {
+	cfg = cfg.normalize()
+	return &Engine{
+		cfg:     cfg,
+		hooks:   hooks,
+		workers: profile.NewRegistry(),
+		tasks:   NewTaskStore(cfg.Clock, cfg.Shards),
+		trigger: schedule.NewTrigger(cfg.Schedule, cfg.Clock.Now()),
+	}
+}
+
+// Workers exposes the profiling component.
+func (e *Engine) Workers() *profile.Registry { return e.workers }
+
+// Tasks exposes the sharded task-management component.
+func (e *Engine) Tasks() *TaskStore { return e.tasks }
+
+// Submit places a task into the system.
+func (e *Engine) Submit(t taskq.Task) error {
+	if err := e.tasks.Submit(t); err != nil {
+		return err
+	}
+	e.ctr.received.Add(1)
+	return nil
+}
+
+// AttachWorker registers a new worker, initially available.
+func (e *Engine) AttachWorker(id string, loc region.Point) (*profile.Profile, error) {
+	return e.workers.Register(id, loc)
+}
+
+// ReattachWorker marks a known (e.g. snapshot-restored or previously
+// detached) worker available again.
+func (e *Engine) ReattachWorker(id string) (*profile.Profile, error) {
+	p, ok := e.workers.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", profile.ErrUnknownWorker, id)
+	}
+	p.SetAvailable(true)
+	return p, nil
+}
+
+// DetachWorker marks a worker unavailable, keeping its learned profile
+// (workers have "short connectivity cycles", §I). Any task it held returns
+// to the pool for reassignment.
+func (e *Engine) DetachWorker(id string) error {
+	p, ok := e.workers.Get(id)
+	if !ok {
+		return fmt.Errorf("%w: %q", profile.ErrUnknownWorker, id)
+	}
+	if taskID := p.CurrentTask(); taskID != "" {
+		if err := e.tasks.Unassign(taskID); err == nil {
+			e.ctr.reassigned.Add(1)
+			if e.hooks.OnReassign != nil {
+				e.hooks.OnReassign(taskID, id, 0)
+			}
+		}
+		p.MarkIdle()
+	}
+	p.SetAvailable(false)
+	return nil
+}
+
+// DeregisterWorker removes a worker and its history entirely. Any task it
+// held returns to the pool.
+func (e *Engine) DeregisterWorker(id string) error {
+	p, ok := e.workers.Get(id)
+	if !ok {
+		return fmt.Errorf("%w: %q", profile.ErrUnknownWorker, id)
+	}
+	if taskID := p.CurrentTask(); taskID != "" {
+		if err := e.tasks.Unassign(taskID); err == nil {
+			e.ctr.reassigned.Add(1)
+		}
+	}
+	return e.workers.Deregister(id)
+}
+
+// Complete records a worker's answer for a task it holds. The execution
+// time feeds the worker's power-law model immediately; the accuracy update
+// waits for requester Feedback. The final task record is returned alongside
+// the requester-facing result for callers that need the full bookkeeping
+// (attempts, timings).
+func (e *Engine) Complete(taskID, workerID, answer string) (Result, taskq.Record, error) {
+	rec, ok := e.tasks.Get(taskID)
+	if !ok {
+		return Result{}, taskq.Record{}, fmt.Errorf("%w: %q", taskq.ErrUnknownTask, taskID)
+	}
+	if rec.Status != taskq.Assigned || rec.Worker != workerID {
+		return Result{}, taskq.Record{}, fmt.Errorf("%w: task %q held by %q", ErrNotAssigned, taskID, rec.Worker)
+	}
+	final, err := e.tasks.Complete(taskID)
+	if err != nil {
+		return Result{}, taskq.Record{}, err
+	}
+	if p, ok := e.workers.Get(workerID); ok {
+		p.RecordExecTime(final.ExecTime().Seconds())
+		if p.CurrentTask() == taskID {
+			p.MarkIdle()
+		}
+	}
+	res := Result{
+		TaskID:      taskID,
+		WorkerID:    workerID,
+		Answer:      answer,
+		FinishedAt:  final.FinishedAt,
+		MetDeadline: final.MetDeadline(),
+	}
+	e.ctr.completed.Add(1)
+	if res.MetDeadline {
+		e.ctr.onTime.Add(1)
+	}
+	return res, final, nil
+}
+
+// Feedback records the requester's verdict on a completed task, updating
+// the worker's per-category accuracy (Eq. 1). A task can be graded once.
+// When the task has no worker to credit — it expired unassigned, or the
+// worker deregistered — Feedback returns ErrNoWorker without consuming the
+// grade.
+func (e *Engine) Feedback(taskID string, positive bool) error {
+	rec, ok := e.tasks.Get(taskID)
+	if !ok {
+		return fmt.Errorf("%w: %q", taskq.ErrUnknownTask, taskID)
+	}
+	if rec.Worker == "" {
+		return fmt.Errorf("%w: task %q never reached a worker", ErrNoWorker, taskID)
+	}
+	p, okW := e.workers.Get(rec.Worker)
+	if !okW {
+		return fmt.Errorf("%w: worker %q left before feedback for task %q", ErrNoWorker, rec.Worker, taskID)
+	}
+	if err := e.tasks.MarkGraded(taskID); err != nil {
+		return err
+	}
+	p.RecordFeedback(rec.Task.Category, positive)
+	return nil
+}
+
+// Stats snapshots the counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Received:    e.ctr.received.Load(),
+		Assigned:    e.ctr.assigned.Load(),
+		Completed:   e.ctr.completed.Load(),
+		OnTime:      e.ctr.onTime.Load(),
+		Expired:     e.ctr.expired.Load(),
+		Reassigned:  e.ctr.reassigned.Load(),
+		Batches:     e.ctr.batches.Load(),
+		MatcherTime: time.Duration(e.ctr.matcherNs.Load()),
+	}
+}
+
+// Tick runs one full maintenance pass — retention GC, unassigned-task
+// expiry, then the batch trigger — in the order the live server's poll loop
+// needs. Event-driven hosts call the individual ticks on their own cadences
+// instead.
+func (e *Engine) Tick() {
+	e.TickRetention()
+	e.TickExpiry()
+	e.TryBatch()
+}
+
+// TickRetention garbage-collects terminal task records older than the
+// retention window. A zero retention keeps everything.
+func (e *Engine) TickRetention() {
+	if e.cfg.Retention <= 0 {
+		return
+	}
+	e.tasks.ForgetTerminatedBefore(e.cfg.Clock.Now().Add(-e.cfg.Retention))
+}
+
+// TickExpiry expires every overdue task still waiting in the pool,
+// counting each and notifying OnExpire. Tasks already in a worker's hands
+// run to (possibly late) completion — the paper's soft-deadline policy.
+func (e *Engine) TickExpiry() {
+	for _, rec := range e.tasks.ExpireUnassigned() {
+		e.ctr.expired.Add(1)
+		if e.hooks.OnExpire != nil {
+			e.hooks.OnExpire(rec)
+		}
+	}
+}
+
+// ExpireAllDue expires every overdue task, assigned or not — the
+// end-of-run accounting sweep the experiments harness performs after the
+// drain window.
+func (e *Engine) ExpireAllDue() {
+	for _, rec := range e.tasks.ExpireDue() {
+		e.ctr.expired.Add(1)
+		if e.hooks.OnExpire != nil {
+			e.hooks.OnExpire(rec)
+		}
+	}
+}
+
+// TickMonitor runs one Eq. 2 sweep: every executing task whose completion
+// probability fell below the threshold is returned to the pool and its
+// worker freed.
+func (e *Engine) TickMonitor() {
+	now := e.cfg.Clock.Now()
+	for _, d := range e.cfg.Monitor.Sweep(e.workers, e.tasks, now) {
+		if !d.Reassign {
+			continue
+		}
+		if err := e.tasks.Unassign(d.TaskID); err != nil {
+			continue
+		}
+		e.ctr.reassigned.Add(1)
+		if p, ok := e.workers.Get(d.Worker); ok && p.CurrentTask() == d.TaskID {
+			p.MarkIdle()
+		}
+		if e.hooks.OnReassign != nil {
+			e.hooks.OnReassign(d.TaskID, d.Worker, d.Probability)
+		}
+	}
+}
+
+// TryBatch runs one scheduling round if the trigger is due: snapshot the
+// available workers and unassigned tasks, build the Eq. 3 graph, match it,
+// and apply the assignments. With Config.Defer set, application is
+// postponed by the modelled matcher latency and at most one round is in
+// flight at a time; the deferred apply re-arms the trigger check so a
+// backlog that built up during the charge drains immediately.
+func (e *Engine) TryBatch() {
+	e.batchMu.Lock()
+	defer e.batchMu.Unlock()
+	if e.inFlight {
+		return
+	}
+	now := e.cfg.Clock.Now()
+	if !e.trigger.Due(e.tasks.UnassignedCount(), now) {
+		return
+	}
+	avail := e.workers.Available()
+	unassigned := e.tasks.Unassigned()
+	if len(avail) == 0 || len(unassigned) == 0 {
+		return
+	}
+	batch, err := schedule.Run(e.cfg.Schedule, e.cfg.Matcher, avail, unassigned, now)
+	if err != nil {
+		return // construction bug; skip the round rather than wedge the host
+	}
+	e.trigger.Ran(now)
+	e.ctr.batches.Add(1)
+	e.ctr.matcherNs.Add(int64(batch.Elapsed))
+	var latency time.Duration
+	if e.cfg.Latency != nil {
+		latency = e.cfg.Latency(len(unassigned), len(avail), batch.Build.Edges, batch.Match.Cycles)
+	}
+	if e.hooks.OnBatch != nil {
+		e.hooks.OnBatch(BatchInfo{
+			Workers:      len(avail),
+			Tasks:        len(unassigned),
+			Edges:        batch.Build.Edges,
+			PrunedProb:   batch.Build.PrunedProb,
+			PrunedReward: batch.Build.PrunedReward,
+			Cycles:       batch.Match.Cycles,
+			Assignments:  len(batch.Assignments),
+			Elapsed:      batch.Elapsed,
+			Latency:      latency,
+		})
+	}
+	byID := make(map[string]taskq.Task, len(unassigned))
+	for _, t := range unassigned {
+		byID[t.ID] = t
+	}
+	if e.cfg.Defer != nil {
+		e.inFlight = true
+		e.cfg.Defer(latency, e.deferredApply(batch.Assignments, byID))
+		return
+	}
+	e.applyAssignments(batch.Assignments, byID)
+}
+
+// deferredApply builds the callback that lands a postponed batch: apply,
+// clear the in-flight gate, and re-check the trigger for backlog that
+// accumulated while the modelled matcher ran.
+func (e *Engine) deferredApply(assignments map[string]string, byID map[string]taskq.Task) func(time.Time) {
+	return func(time.Time) {
+		e.batchMu.Lock()
+		e.applyAssignments(assignments, byID)
+		e.inFlight = false
+		e.batchMu.Unlock()
+		e.TryBatch()
+	}
+}
+
+// applyAssignments binds matcher output to live state. Called with batchMu
+// held. Sorted order keeps downstream consumers (the harness's exec-time
+// RNG stream) deterministic; map iteration order would not be.
+func (e *Engine) applyAssignments(assignments map[string]string, byID map[string]taskq.Task) {
+	taskIDs := make([]string, 0, len(assignments))
+	for taskID := range assignments {
+		taskIDs = append(taskIDs, taskID)
+	}
+	sort.Strings(taskIDs)
+	for _, taskID := range taskIDs {
+		workerID := assignments[taskID]
+		rec, ok := e.tasks.Get(taskID)
+		if !ok || rec.Status != taskq.Unassigned {
+			continue // expired or re-bound while the matcher ran
+		}
+		p, ok := e.workers.Get(workerID)
+		if !ok || !p.Available() {
+			continue // worker detached after the snapshot
+		}
+		if err := e.tasks.Assign(taskID, workerID); err != nil {
+			continue
+		}
+		task := byID[taskID]
+		rec, _ = e.tasks.Get(taskID)
+		a := Assignment{
+			TaskID:      taskID,
+			WorkerID:    workerID,
+			Category:    task.Category,
+			Description: task.Description,
+			Location:    task.Location,
+			Deadline:    task.Deadline,
+			Reward:      task.Reward,
+			AssignedAt:  rec.AssignedAt,
+		}
+		// Mark busy BEFORE the assignment becomes visible to the transport:
+		// a fast worker may Complete the task (and clear the busy mark)
+		// before this call returns, and marking busy afterwards would wedge
+		// the worker permanently.
+		p.MarkBusy(taskID)
+		if e.hooks.Deliver != nil && !e.hooks.Deliver(a) {
+			// Transport refused (feed full, worker detached mid-delivery):
+			// revoke. The detach path may already have unassigned and idled,
+			// so both cleanups tolerate a no-op.
+			e.tasks.Unassign(taskID)
+			if p.CurrentTask() == taskID {
+				p.MarkIdle()
+			}
+			continue
+		}
+		e.ctr.assigned.Add(1)
+		if e.hooks.OnAssign != nil {
+			e.hooks.OnAssign(a)
+		}
+	}
+}

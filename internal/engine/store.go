@@ -1,0 +1,180 @@
+package engine
+
+import (
+	"sort"
+	"time"
+
+	"react/internal/clock"
+	"react/internal/taskq"
+)
+
+// TaskStore is the engine's task-management state, striped across N
+// taskq.Manager shards keyed by an FNV-1a hash of the task id. Point
+// operations (Submit, Get, Assign, Complete, ...) touch exactly one shard,
+// so completions and submissions arriving concurrently with a running batch
+// contend on 1/N of the locks the old single manager forced them through.
+//
+// Snapshot operations (Unassigned, AssignedTasks, ExpireUnassigned) merge
+// the per-shard results and re-sort them globally, so every observable
+// ordering is identical to a single-manager store regardless of the shard
+// count — the property the determinism gate relies on.
+type TaskStore struct {
+	shards []*taskq.Manager
+}
+
+// NewTaskStore creates a store with n shards reading time from clk. n below
+// 1 is treated as 1.
+func NewTaskStore(clk clock.Clock, n int) *TaskStore {
+	if n < 1 {
+		n = 1
+	}
+	s := &TaskStore{shards: make([]*taskq.Manager, n)}
+	for i := range s.shards {
+		s.shards[i] = taskq.NewManager(clk)
+	}
+	return s
+}
+
+// Shards reports the stripe count.
+func (s *TaskStore) Shards() int { return len(s.shards) }
+
+// shard routes a task id to its manager (FNV-1a, inlined to keep the hot
+// path allocation-free).
+func (s *TaskStore) shard(id string) *taskq.Manager {
+	if len(s.shards) == 1 {
+		return s.shards[0]
+	}
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(id); i++ {
+		h = (h ^ uint32(id[i])) * prime32
+	}
+	return s.shards[h%uint32(len(s.shards))]
+}
+
+// Submit registers a new unassigned task on its shard.
+func (s *TaskStore) Submit(t taskq.Task) error { return s.shard(t.ID).Submit(t) }
+
+// Get returns a copy of the record for id.
+func (s *TaskStore) Get(id string) (taskq.Record, bool) { return s.shard(id).Get(id) }
+
+// Assign binds an unassigned task to a worker.
+func (s *TaskStore) Assign(taskID, workerID string) error {
+	return s.shard(taskID).Assign(taskID, workerID)
+}
+
+// Unassign returns an assigned task to the pool.
+func (s *TaskStore) Unassign(taskID string) error { return s.shard(taskID).Unassign(taskID) }
+
+// Complete finishes an assigned task and returns the final record.
+func (s *TaskStore) Complete(taskID string) (taskq.Record, error) {
+	return s.shard(taskID).Complete(taskID)
+}
+
+// MarkGraded records that the requester's feedback has been consumed.
+func (s *TaskStore) MarkGraded(taskID string) error { return s.shard(taskID).MarkGraded(taskID) }
+
+// Unassigned snapshots the tasks waiting for a worker, oldest submission
+// first (ties broken by id), merged across shards.
+func (s *TaskStore) Unassigned() []taskq.Task {
+	if len(s.shards) == 1 {
+		return s.shards[0].Unassigned()
+	}
+	var out []taskq.Task
+	for _, m := range s.shards {
+		out = append(out, m.Unassigned()...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Submitted.Equal(out[j].Submitted) {
+			return out[i].Submitted.Before(out[j].Submitted)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// UnassignedCount sums the per-shard backlog — the batch trigger reads this
+// on every arrival.
+func (s *TaskStore) UnassignedCount() int {
+	n := 0
+	for _, m := range s.shards {
+		n += m.UnassignedCount()
+	}
+	return n
+}
+
+// AssignedTasks snapshots the records currently executing, sorted by task
+// id across shards, for the Eq. 2 monitor.
+func (s *TaskStore) AssignedTasks() []taskq.Record {
+	if len(s.shards) == 1 {
+		return s.shards[0].AssignedTasks()
+	}
+	var out []taskq.Record
+	for _, m := range s.shards {
+		out = append(out, m.AssignedTasks()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Task.ID < out[j].Task.ID })
+	return out
+}
+
+// ExpireUnassigned expires every overdue task still waiting in the pool and
+// returns their records sorted by task id.
+func (s *TaskStore) ExpireUnassigned() []taskq.Record {
+	if len(s.shards) == 1 {
+		return s.shards[0].ExpireUnassigned()
+	}
+	var out []taskq.Record
+	for _, m := range s.shards {
+		out = append(out, m.ExpireUnassigned()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Task.ID < out[j].Task.ID })
+	return out
+}
+
+// ExpireDue expires every overdue non-terminal task, assigned or not, and
+// returns their records sorted by task id.
+func (s *TaskStore) ExpireDue() []taskq.Record {
+	if len(s.shards) == 1 {
+		return s.shards[0].ExpireDue()
+	}
+	var out []taskq.Record
+	for _, m := range s.shards {
+		out = append(out, m.ExpireDue()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Task.ID < out[j].Task.ID })
+	return out
+}
+
+// Counts sums how many tasks are in each state across shards.
+func (s *TaskStore) Counts() (unassigned, assigned, completed, expired int) {
+	for _, m := range s.shards {
+		u, a, c, e := m.Counts()
+		unassigned += u
+		assigned += a
+		completed += c
+		expired += e
+	}
+	return
+}
+
+// Total reports how many tasks have ever been submitted.
+func (s *TaskStore) Total() int {
+	n := 0
+	for _, m := range s.shards {
+		n += m.Total()
+	}
+	return n
+}
+
+// ForgetTerminatedBefore garbage-collects terminal records older than
+// cutoff on every shard, returning how many were removed.
+func (s *TaskStore) ForgetTerminatedBefore(cutoff time.Time) int {
+	n := 0
+	for _, m := range s.shards {
+		n += m.ForgetTerminatedBefore(cutoff)
+	}
+	return n
+}

@@ -4,15 +4,13 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
-	"sort"
 	"time"
 
 	"react/internal/crowd"
 	"react/internal/dynassign"
+	"react/internal/engine"
 	"react/internal/metrics"
-	"react/internal/profile"
 	"react/internal/region"
-	"react/internal/schedule"
 	"react/internal/sim"
 	"react/internal/taskq"
 	"react/internal/trace"
@@ -137,37 +135,16 @@ func (r ScenarioResult) PositiveFraction() float64 {
 }
 
 // RunScenario executes one end-to-end simulation and returns its metrics.
+//
+// All scheduling logic — trigger, graph construction, matching, assignment
+// application, Eq. 2 monitoring, expiry — lives in internal/engine, the same
+// code the live server runs. This harness only hosts the engine on the
+// virtual clock: engine ticks become simulation events, the modelled matcher
+// latency of DESIGN.md §2 is charged through Config.Latency/Config.Defer,
+// and the engine's hooks feed the figure counters and the trace recorder.
 func RunScenario(cfg ScenarioConfig) ScenarioResult {
 	cfg = cfg.Normalize()
 	eng := sim.New(cfg.Seed)
-	reg := profile.NewRegistry()
-	tm := taskq.NewManager(eng.Clock())
-
-	// Population: behaviours drawn from the case-study marginals, locations
-	// uniform in the region.
-	behaviors := make(map[string]crowd.Behavior, cfg.Workers)
-	locRng := eng.Rand("locations")
-	for i, b := range crowd.NewPopulation(cfg.Workers, eng.Rand("population")) {
-		id := fmt.Sprintf("w%04d", i)
-		behaviors[id] = b
-		if _, err := reg.Register(id, cfg.Area.RandomPoint(locRng)); err != nil {
-			panic(err) // ids are unique by construction
-		}
-	}
-
-	scfg := cfg.Technique.ScheduleConfig(cfg.BatchBound, cfg.BatchPeriod)
-	trigger := schedule.NewTrigger(scfg, eng.Now())
-	monitor := dynassign.Monitor{Threshold: cfg.MonitorThreshold}
-	execRng := eng.Rand("exec")
-	fbRng := eng.Rand("feedback")
-
-	gen := workload.Generator{
-		Prefix:      "task",
-		Area:        cfg.Area,
-		DeadlineMin: cfg.DeadlineMin,
-		DeadlineMax: cfg.DeadlineMax,
-	}
-	stream := workload.NewStream(gen, workload.Constant{Rate: cfg.Rate}, eng.Now(), eng.Rand("workload"))
 
 	res := ScenarioResult{
 		Technique:      cfg.Technique.Name,
@@ -178,32 +155,36 @@ func RunScenario(cfg ScenarioConfig) ScenarioResult {
 	}
 	var workerExec, totalExec, attempts metrics.Welford
 	execHist, _ := metrics.NewHistogram(1, 400) // 1s buckets to 400s
-	batchRunning := false
 	record := func(e trace.Event) {
 		if cfg.Trace != nil {
 			cfg.Trace.Record(e)
 		}
 	}
 
-	var tryBatch func(now time.Time)
+	behaviors := make(map[string]crowd.Behavior, cfg.Workers)
+	execRng := eng.Rand("exec")
+	fbRng := eng.Rand("feedback")
+
+	// The engine runs on the simulation's virtual clock with a single task
+	// shard: one event fires at a time, so striping buys nothing, and one
+	// shard keeps snapshot order trivially identical to the live layout
+	// (the store re-sorts globally either way).
+	var re *engine.Engine
 
 	// completeTask fires when a worker finishes; stale events (task
 	// reassigned, completed by someone else, or expired) are recognised by
 	// the assignment timestamp and ignored.
-	completeTask := func(workerID, taskID string, assignedAt time.Time, exec time.Duration) sim.Handler {
+	completeTask := func(workerID, taskID string, assignedAt time.Time) sim.Handler {
 		return func(now time.Time) {
-			p, okW := reg.Get(workerID)
-			rec, okT := tm.Get(taskID)
+			rec, okT := re.Tasks().Get(taskID)
 			current := okT && rec.Status == taskq.Assigned &&
 				rec.Worker == workerID && rec.AssignedAt.Equal(assignedAt)
 			if current {
-				final, err := tm.Complete(taskID)
+				result, final, err := re.Complete(taskID, workerID, "")
 				if err == nil {
-					met := final.MetDeadline()
+					met := result.MetDeadline
 					pos := behaviors[workerID].PositiveFeedback(fbRng, met)
-					if okW {
-						p.RecordCompletion(final.Task.Category, exec.Seconds(), pos)
-					}
+					re.Feedback(taskID, pos) // ErrNoWorker impossible: sim workers never deregister
 					if met {
 						res.CompletedOnTime++
 					} else {
@@ -224,113 +205,95 @@ func RunScenario(cfg ScenarioConfig) ScenarioResult {
 					record(trace.Event{Task: taskID, Kind: trace.Completed, At: now, Worker: workerID, Late: !met})
 				}
 			}
-			if okW && p.CurrentTask() == taskID {
+			// A stale event may still find the worker marked busy on this
+			// task (the monitor re-bound it and the old timer outlived the
+			// binding); free them.
+			if p, ok := re.Workers().Get(workerID); ok && p.CurrentTask() == taskID {
 				p.MarkIdle()
 			}
-			tryBatch(now)
+			re.TryBatch()
 		}
 	}
 
-	applyAssignments := func(assignments map[string]string, now time.Time) {
-		// Sorted order keeps the exec RNG stream — and with it the whole
-		// run — deterministic; map iteration order would not be.
-		taskIDs := make([]string, 0, len(assignments))
-		for taskID := range assignments {
-			taskIDs = append(taskIDs, taskID)
-		}
-		sort.Strings(taskIDs)
-		for _, taskID := range taskIDs {
-			workerID := assignments[taskID]
-			rec, ok := tm.Get(taskID)
-			if !ok || rec.Status != taskq.Unassigned {
-				continue // expired while the matcher ran
-			}
-			p, ok := reg.Get(workerID)
-			if !ok || !p.Available() {
-				continue
-			}
-			if err := tm.Assign(taskID, workerID); err != nil {
-				continue
-			}
-			record(trace.Event{Task: taskID, Kind: trace.Assigned, At: now, Worker: workerID})
-			p.MarkBusy(taskID)
-			exec := behaviors[workerID].ExecTime(execRng)
-			rec, _ = tm.Get(taskID)
-			eng.After(exec, "complete", completeTask(workerID, taskID, rec.AssignedAt, exec))
+	re = engine.New(engine.Config{
+		Clock:    eng.Clock(),
+		Matcher:  cfg.Technique.Matcher,
+		Schedule: cfg.Technique.ScheduleConfig(cfg.BatchBound, cfg.BatchPeriod),
+		Monitor:  dynassign.Monitor{Threshold: cfg.MonitorThreshold},
+		Shards:   1,
+		Latency:  cfg.Technique.Cost,
+		Defer: func(d time.Duration, fn func(now time.Time)) {
+			eng.After(d, "batch-apply", fn)
+		},
+	}, engine.Hooks{
+		OnAssign: func(a engine.Assignment) {
+			record(trace.Event{Task: a.TaskID, Kind: trace.Assigned, At: eng.Now(), Worker: a.WorkerID})
+			// Drawing exec times here — inside the engine's sorted-order
+			// apply — keeps the RNG stream, and with it the whole run,
+			// deterministic.
+			exec := behaviors[a.WorkerID].ExecTime(execRng)
+			eng.After(exec, "complete", completeTask(a.WorkerID, a.TaskID, a.AssignedAt))
+		},
+		OnReassign: func(taskID, workerID string, probability float64) {
+			record(trace.Event{Task: taskID, Kind: trace.Revoked, At: eng.Now(), Worker: workerID})
+			res.Reassignments++
+		},
+		OnExpire: func(rec taskq.Record) {
+			res.Expired++
+			record(trace.Event{Task: rec.Task.ID, Kind: trace.Expired, At: eng.Now()})
+		},
+		OnBatch: func(info engine.BatchInfo) {
+			res.Batches++
+			res.MatcherBusy += info.Latency.Seconds()
+		},
+	})
+
+	// Population: behaviours drawn from the case-study marginals, locations
+	// uniform in the region.
+	locRng := eng.Rand("locations")
+	for i, b := range crowd.NewPopulation(cfg.Workers, eng.Rand("population")) {
+		id := fmt.Sprintf("w%04d", i)
+		behaviors[id] = b
+		if _, err := re.AttachWorker(id, cfg.Area.RandomPoint(locRng)); err != nil {
+			panic(err) // ids are unique by construction
 		}
 	}
 
-	tryBatch = func(now time.Time) {
-		if batchRunning {
-			return
-		}
-		unassigned := tm.UnassignedCount()
-		if !trigger.Due(unassigned, now) {
-			return
-		}
-		avail := reg.Available()
-		tasks := tm.Unassigned()
-		if len(avail) == 0 || len(tasks) == 0 {
-			return
-		}
-		batch, err := schedule.Run(scfg, cfg.Technique.Matcher, avail, tasks, now)
-		if err != nil {
-			return // construction bug; skip the round rather than wedge the run
-		}
-		trigger.Ran(now)
-		res.Batches++
-		latency := cfg.Technique.Cost(len(tasks), len(avail), batch.Build.Edges, batch.Match.Cycles)
-		res.MatcherBusy += latency.Seconds()
-		batchRunning = true
-		eng.After(latency, "batch-apply", func(apply time.Time) {
-			applyAssignments(batch.Assignments, apply)
-			batchRunning = false
-			tryBatch(apply)
-		})
+	gen := workload.Generator{
+		Prefix:      "task",
+		Area:        cfg.Area,
+		DeadlineMin: cfg.DeadlineMin,
+		DeadlineMax: cfg.DeadlineMax,
 	}
+	stream := workload.NewStream(gen, workload.Constant{Rate: cfg.Rate}, eng.Now(), eng.Rand("workload"))
 
 	// Arrival pump: one event per task so the trigger sees every arrival.
 	var arrive sim.Handler
 	arrive = func(now time.Time) {
 		task := stream.Take()
-		if err := tm.Submit(task); err == nil {
+		if err := re.Submit(task); err == nil {
 			res.Received++
 			record(trace.Event{Task: task.ID, Kind: trace.Submitted, At: now})
 		}
 		if res.Received < cfg.TargetTasks {
 			eng.Schedule(stream.Peek(), "arrival", arrive)
 		}
-		tryBatch(now)
+		re.TryBatch()
 	}
 	eng.Schedule(stream.Peek(), "arrival", arrive)
 
 	// Expiry sweep: unassigned tasks leave the repository at their deadline.
-	stopExpiry := eng.Every(time.Second, "expire", func(now time.Time) {
-		for _, rec := range tm.ExpireUnassigned() {
-			res.Expired++
-			record(trace.Event{Task: rec.Task.ID, Kind: trace.Expired, At: now})
-		}
+	stopExpiry := eng.Every(time.Second, "expire", func(time.Time) {
+		re.TickExpiry()
 	})
 
 	// Eq. 2 monitor: reassign doomed tasks; the abandoning worker returns
 	// to the pool (they were not really working).
 	stopMonitor := func() {}
 	if cfg.Technique.UseMonitor {
-		stopMonitor = eng.Every(cfg.MonitorPeriod, "monitor", func(now time.Time) {
-			for _, d := range monitor.Sweep(reg, tm, now) {
-				if !d.Reassign {
-					continue
-				}
-				if err := tm.Unassign(d.TaskID); err != nil {
-					continue
-				}
-				record(trace.Event{Task: d.TaskID, Kind: trace.Revoked, At: now, Worker: d.Worker})
-				res.Reassignments++
-				if p, ok := reg.Get(d.Worker); ok && p.CurrentTask() == d.TaskID {
-					p.MarkIdle()
-				}
-			}
-			tryBatch(now)
+		stopMonitor = eng.Every(cfg.MonitorPeriod, "monitor", func(time.Time) {
+			re.TickMonitor()
+			re.TryBatch()
 		})
 	}
 
@@ -339,14 +302,14 @@ func RunScenario(cfg ScenarioConfig) ScenarioResult {
 	// receives no new work while offline).
 	if cfg.Churn > 0 {
 		churnRng := eng.Rand("churn")
-		for _, p := range reg.All() {
+		for _, p := range re.Workers().All() {
 			p := p
 			var toggle func(online bool) sim.Handler
 			toggle = func(online bool) sim.Handler {
 				return func(now time.Time) {
 					p.SetAvailable(online)
 					if online {
-						tryBatch(now)
+						re.TryBatch()
 					}
 					// The period that starts now determines the next
 					// toggle: online periods have mean Churn, offline
@@ -365,14 +328,16 @@ func RunScenario(cfg ScenarioConfig) ScenarioResult {
 	}
 
 	// Period flush so sub-bound backlogs are not starved.
-	stopFlush := eng.Every(cfg.BatchPeriod, "flush", tryBatch)
+	stopFlush := eng.Every(cfg.BatchPeriod, "flush", func(time.Time) {
+		re.TryBatch()
+	})
 
 	// Run until every submitted task is terminal or the grace window ends.
 	arrivalSpan := time.Duration(float64(cfg.TargetTasks)/cfg.Rate*float64(time.Second)) + time.Second
 	deadline := eng.Now().Add(arrivalSpan + cfg.DrainGrace)
 	for eng.Now().Before(deadline) {
 		eng.RunFor(10 * time.Second)
-		_, _, completed, expired := tm.Counts()
+		_, _, completed, expired := re.Tasks().Counts()
 		if res.Received >= cfg.TargetTasks && completed+expired == res.Received {
 			break
 		}
@@ -382,10 +347,7 @@ func RunScenario(cfg ScenarioConfig) ScenarioResult {
 	stopFlush()
 
 	// Anything still live at the cap is a missed task.
-	for _, rec := range tm.ExpireDue() {
-		res.Expired++
-		record(trace.Event{Task: rec.Task.ID, Kind: trace.Expired, At: eng.Now()})
-	}
+	re.ExpireAllDue()
 
 	res.MeanWorkerExec = workerExec.Mean()
 	res.MeanTotalExec = totalExec.Mean()

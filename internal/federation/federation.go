@@ -243,6 +243,7 @@ func (c *Coordinator) Stats() core.Stats {
 		total.Batches += st.Batches
 		total.MatcherTime += st.MatcherTime
 		total.WorkersOnline += st.WorkersOnline
+		total.WorkersKnown += st.WorkersKnown
 	}
 	return total
 }

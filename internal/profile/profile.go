@@ -77,6 +77,15 @@ func (p *Profile) Available() bool {
 	return p.available && p.busyTask == ""
 }
 
+// Connected reports the raw connectivity flag: true for a worker that is
+// attached, whether idle or mid-task. Compare Available, which also
+// requires the worker to be idle.
+func (p *Profile) Connected() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.available
+}
+
 // SetAvailable flips the worker's connectivity status. Workers with short
 // connectivity cycles toggle this as they come and go.
 func (p *Profile) SetAvailable(v bool) {
@@ -293,6 +302,21 @@ func (r *Registry) Size() int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return len(r.workers)
+}
+
+// CountConnected reports how many workers are currently connected (busy or
+// idle) — the honest "workers online" figure, as opposed to Size, which
+// counts every known profile including detached ones.
+func (r *Registry) CountConnected() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	for _, p := range r.workers {
+		if p.Connected() {
+			n++
+		}
+	}
+	return n
 }
 
 // Available snapshots the workers currently available for assignment,

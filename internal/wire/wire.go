@@ -159,6 +159,7 @@ type StatsPayload struct {
 	Reassigned    int64 `json:"reassigned"`
 	Batches       int64 `json:"batches"`
 	WorkersOnline int   `json:"workers_online"`
+	WorkersKnown  int   `json:"workers_known"`
 }
 
 func toStatsPayload(s core.Stats) *StatsPayload {
@@ -171,5 +172,6 @@ func toStatsPayload(s core.Stats) *StatsPayload {
 		Reassigned:    s.Reassigned,
 		Batches:       s.Batches,
 		WorkersOnline: s.WorkersOnline,
+		WorkersKnown:  s.WorkersKnown,
 	}
 }
