@@ -3,9 +3,13 @@
 GO ?= go
 # Packages with real goroutine concurrency; the race detector gates them
 # on every change.
-RACE_PKGS = ./internal/engine ./internal/core ./internal/wire ./internal/federation ./internal/taskq ./internal/faultnet
+RACE_PKGS = ./internal/engine ./internal/core ./internal/wire ./internal/federation ./internal/taskq ./internal/faultnet ./internal/obs
+# Packages whose statement coverage must not fall below COVER_FLOOR; the
+# scheduling engine and the metrics layer are the paper's core claims.
+COVER_PKGS = internal/engine internal/metrics
+COVER_FLOOR = 70
 
-.PHONY: all build lint vet test race chaos determinism ci
+.PHONY: all build lint vet test race chaos determinism bench coverage ci
 
 all: build lint test
 
@@ -50,6 +54,29 @@ determinism:
 			echo "fig 5: byte-identical + matches golden"; \
 		else \
 			echo "fig $$fig: byte-identical"; \
+		fi; \
+	done
+
+# Benchmark gate: first a 1x smoke that the benchmark harness still runs,
+# then the in-process throughput check against the committed baseline
+# (BENCH_engine.json, -40% tolerance). bench_check.json is the CI artifact.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineThroughput' -benchtime 1x .
+	$(GO) run ./cmd/reactbench -check -check-out bench_check.json
+
+# Coverage floor: whole-repo profile (coverage.out is the CI artifact),
+# then per-package floors on the packages named in COVER_PKGS.
+coverage:
+	@$(GO) test -coverprofile=coverage.out ./... > coverage.txt; \
+		status=$$?; cat coverage.txt; \
+		[ $$status -eq 0 ] || exit $$status
+	@for pkg in $(COVER_PKGS); do \
+		pct=$$(grep "react/$$pkg" coverage.txt | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "coverage: no figure for $$pkg"; exit 1; fi; \
+		if awk -v p="$$pct" -v f="$(COVER_FLOOR)" 'BEGIN { exit !(p+0 >= f) }'; then \
+			echo "coverage: $$pkg $$pct% (floor $(COVER_FLOOR)%)"; \
+		else \
+			echo "coverage: $$pkg $$pct% BELOW the $(COVER_FLOOR)% floor"; exit 1; \
 		fi; \
 	done
 

@@ -8,16 +8,10 @@ package react_test
 import (
 	"fmt"
 	"testing"
-	"time"
 
 	"react/internal/bipartite"
-	"react/internal/clock"
-	"react/internal/engine"
 	"react/internal/experiments"
 	"react/internal/matching"
-	"react/internal/region"
-	"react/internal/schedule"
-	"react/internal/taskq"
 )
 
 // ---- Figures 3 and 4: matcher wall time and output weight ----
@@ -271,97 +265,22 @@ func BenchmarkAblationGreedyScanCost(b *testing.B) {
 // end-to-end completed tasks per wall second; BENCH_engine.json records the
 // baseline (16 shards sustain >4x the single-shard rate on the reference
 // box).
+// The workload lives in experiments.RunEngineBench so `reactbench -check`
+// (the CI regression gate against BENCH_engine.json) measures exactly what
+// this benchmark measures.
 func benchEngineThroughput(b *testing.B, shards int) {
-	clk := clock.NewVirtual(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
-	const workers = 32
-	feeds := make([]chan engine.Assignment, workers)
-	feedIdx := make(map[string]int, workers)
-	for i := range feeds {
-		feeds[i] = make(chan engine.Assignment, 8)
-		feedIdx[fmt.Sprintf("w%02d", i)] = i
-	}
-	eng := engine.New(engine.Config{
-		Clock:   clk,
-		Matcher: matching.Greedy{},
-		Schedule: schedule.Config{
-			BatchBound:  16,
-			BatchPeriod: time.Second,
-		},
-		Shards: shards,
-		// GC terminal records aggressively so the store holds only live
-		// tasks and the benchmark measures steady state, not map growth.
-		Retention: time.Nanosecond,
-	}, engine.Hooks{
-		Deliver: func(a engine.Assignment) bool {
-			select {
-			case feeds[feedIdx[a.WorkerID]] <- a:
-				return true
-			default:
-				return false // feed full; engine revokes and re-matches later
-			}
-		},
-	})
-	for w := 0; w < workers; w++ {
-		if _, err := eng.AttachWorker(fmt.Sprintf("w%02d", w), region.Point{Lat: 38, Lon: 23.7}); err != nil {
-			b.Fatal(err)
-		}
-	}
-	done := make(chan struct{})
-	finished := make(chan struct{}, workers)
-	for w := 0; w < workers; w++ {
-		w := w
-		go func() {
-			defer func() { finished <- struct{}{} }()
-			id := fmt.Sprintf("w%02d", w)
-			for {
-				select {
-				case <-done:
-					return
-				case a := <-feeds[w]:
-					if _, _, err := eng.Complete(a.TaskID, id, "ok"); err == nil {
-						eng.Feedback(a.TaskID, true)
-					}
-				}
-			}
-		}()
-	}
-
-	start := time.Now()
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		clk.Advance(time.Microsecond)
-		if err := eng.Submit(taskq.Task{
-			ID:       fmt.Sprintf("t%08d", i),
-			Deadline: clk.Now().Add(1000 * time.Hour),
-			Reward:   1,
-		}); err != nil {
-			b.Fatal(err)
-		}
-		eng.TryBatch()
-		if i%256 == 0 {
-			eng.TickRetention()
-		}
-	}
-	// Drain: small advances keep every deadline live (nothing may escape by
-	// expiring), so all three shard configurations finish the identical
-	// b.N completions.
-	for {
-		st := eng.Stats()
-		if st.Completed+st.Expired == int64(b.N) {
-			break
-		}
-		clk.Advance(2 * time.Second)
-		eng.TryBatch()
+	res, err := experiments.RunEngineBench(experiments.EngineBenchConfig{
+		Shards: shards,
+		Ops:    b.N,
+	})
+	if err != nil {
+		b.Fatal(err)
 	}
 	b.StopTimer()
-	st := eng.Stats()
-	b.ReportMetric(float64(st.Completed)/time.Since(start).Seconds(), "cycles/s")
-	b.ReportMetric(float64(st.Batches)/float64(b.N)*1000, "batches/kop")
-	b.ReportMetric(float64(st.Expired), "expired")
-	close(done)
-	for w := 0; w < workers; w++ {
-		<-finished
-	}
+	b.ReportMetric(res.CyclesPerSec, "cycles/s")
+	b.ReportMetric(res.BatchesPerKop, "batches/kop")
+	b.ReportMetric(float64(res.Expired), "expired")
 }
 
 func BenchmarkEngineThroughput(b *testing.B) {

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"react/internal/experiments"
+	"react/internal/metrics"
+)
+
+// baselineFile mirrors BENCH_engine.json, the committed reference numbers
+// for BenchmarkEngineThroughput on the reference box.
+type baselineFile struct {
+	Benchmark string `json:"benchmark"`
+	CPU       string `json:"cpu"`
+	Results   []struct {
+		Shards        int     `json:"shards"`
+		NsPerOp       float64 `json:"ns_per_op"`
+		CyclesPerSec  float64 `json:"cycles_per_sec"`
+		BatchesPerKop float64 `json:"batches_per_kop"`
+		Expired       int64   `json:"expired"`
+	} `json:"results"`
+}
+
+// checkRow is one shard configuration's verdict in the artifact.
+type checkRow struct {
+	Shards        int     `json:"shards"`
+	BaselineCPS   float64 `json:"baseline_cycles_per_sec"`
+	MeasuredCPS   float64 `json:"measured_cycles_per_sec"`
+	Deviation     float64 `json:"deviation"` // (measured-baseline)/baseline
+	Expired       int64   `json:"expired"`
+	BatchesPerKop float64 `json:"batches_per_kop"`
+	OK            bool    `json:"ok"`
+	FailureReason string  `json:"failure_reason,omitempty"`
+	Note          string  `json:"note,omitempty"`
+}
+
+// checkArtifact is the JSON the CI step uploads.
+type checkArtifact struct {
+	Baseline  string     `json:"baseline"`
+	Date      string     `json:"date"`
+	Ops       int        `json:"ops"`
+	Tolerance float64    `json:"tolerance"`
+	Rows      []checkRow `json:"rows"`
+	Pass      bool       `json:"pass"`
+}
+
+// runCheck replays the BenchmarkEngineThroughput workload in-process (via
+// the shared experiments.RunEngineBench runner) for every shard
+// configuration in the baseline file and fails when measured cycles/s
+// falls more than tolerance below the committed number, or when any task
+// expires (the workload is constructed so none can). Speedups beyond
+// tolerance pass with a note to re-record the baseline. Exit status 1 on
+// violation, so CI can gate on it.
+func runCheck(baselinePath string, ops int, tolerance float64, outPath string) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("check: %w", err)
+	}
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("check: parse %s: %w", baselinePath, err)
+	}
+	if len(base.Results) == 0 {
+		return fmt.Errorf("check: %s has no results", baselinePath)
+	}
+
+	art := checkArtifact{
+		Baseline:  baselinePath,
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		Ops:       ops,
+		Tolerance: tolerance,
+		Pass:      true,
+	}
+	for _, b := range base.Results {
+		res, err := experiments.RunEngineBench(experiments.EngineBenchConfig{
+			Shards: b.Shards,
+			Ops:    ops,
+		})
+		if err != nil {
+			return fmt.Errorf("check: shards=%d: %w", b.Shards, err)
+		}
+		row := checkRow{
+			Shards:        b.Shards,
+			BaselineCPS:   b.CyclesPerSec,
+			MeasuredCPS:   res.CyclesPerSec,
+			Deviation:     (res.CyclesPerSec - b.CyclesPerSec) / b.CyclesPerSec,
+			Expired:       res.Expired,
+			BatchesPerKop: res.BatchesPerKop,
+			OK:            true,
+		}
+		switch {
+		case res.Expired > 0:
+			row.OK = false
+			row.FailureReason = fmt.Sprintf("%d tasks expired; the workload admits none", res.Expired)
+		case row.Deviation < -tolerance:
+			row.OK = false
+			row.FailureReason = fmt.Sprintf("cycles/s %.1f is %+.0f%% off baseline %.1f (tolerance -%.0f%%)",
+				res.CyclesPerSec, 100*row.Deviation, b.CyclesPerSec, 100*tolerance)
+		case row.Deviation > tolerance:
+			// Faster than the committed number is not a regression, but a
+			// drift this large means the baseline no longer describes the
+			// hardware; say so without failing the gate.
+			row.Note = fmt.Sprintf("%.0f%% faster than baseline; consider re-recording BENCH_engine.json", 100*row.Deviation)
+		}
+		if !row.OK {
+			art.Pass = false
+		}
+		art.Rows = append(art.Rows, row)
+	}
+
+	table := metrics.NewTable("shards", "baseline_cps", "measured_cps", "deviation_pct", "batches/kop", "verdict")
+	for _, r := range art.Rows {
+		verdict := "ok"
+		switch {
+		case !r.OK:
+			verdict = "FAIL: " + r.FailureReason
+		case r.Note != "":
+			verdict = "ok (" + r.Note + ")"
+		}
+		table.AddRow(r.Shards, r.BaselineCPS, fmt.Sprintf("%.1f", r.MeasuredCPS),
+			fmt.Sprintf("%+.1f", 100*r.Deviation), fmt.Sprintf("%.1f", r.BatchesPerKop), verdict)
+	}
+	if err := table.Write(os.Stdout); err != nil {
+		return err
+	}
+
+	if outPath != "" {
+		blob, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+			return fmt.Errorf("check: write artifact: %w", err)
+		}
+		fmt.Printf("artifact written to %s\n", outPath)
+	}
+	if !art.Pass {
+		return fmt.Errorf("check: engine throughput outside tolerance (see table)")
+	}
+	fmt.Printf("engine throughput within -%.0f%% of %s\n", 100*tolerance, baselinePath)
+	return nil
+}

@@ -7,6 +7,14 @@
 //
 //	reactbench -workers 1000 -tasks 1,10,100,1000 -cycles 1000,3000
 //	reactbench -workers 200 -tasks 200 -hungarian   # with optimality gaps
+//
+// With -check, it instead replays the BenchmarkEngineThroughput workload
+// (internal/experiments.RunEngineBench) for every shard configuration in
+// the committed baseline and exits non-zero when measured cycles/s falls
+// more than -tolerance below the committed number — the CI
+// throughput-regression gate:
+//
+//	reactbench -check -baseline BENCH_engine.json -tolerance 0.4 -check-out bench_check.json
 package main
 
 import (
@@ -38,7 +46,20 @@ func main() {
 	cycles := flag.String("cycles", "1000,3000", "comma-separated cycle budgets for REACT/Metropolis")
 	seed := flag.Int64("seed", 42, "weight seed")
 	hungarian := flag.Bool("hungarian", false, "also run the exact O(n^3) solver and report optimality gaps")
+	check := flag.Bool("check", false, "regression-check engine throughput against -baseline instead of sweeping matchers")
+	baseline := flag.String("baseline", "BENCH_engine.json", "committed baseline for -check")
+	tolerance := flag.Float64("tolerance", 0.4, "allowed relative cycles/s deviation for -check")
+	checkOps := flag.Int("check-ops", 4000, "submit/complete cycles per shard configuration for -check")
+	checkOut := flag.String("check-out", "", "write the -check verdict as JSON to this file")
 	flag.Parse()
+
+	if *check {
+		if err := runCheck(*baseline, *checkOps, *tolerance, *checkOut); err != nil {
+			fmt.Fprintln(os.Stderr, "reactbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	taskCounts, err := parseInts(*tasks)
 	if err != nil {

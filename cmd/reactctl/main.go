@@ -4,14 +4,20 @@
 //
 //	reactctl -addr localhost:7341 stats
 //	reactctl -addr localhost:7341 submit -id t1 -deadline 90s -category traffic -desc "Is road A congested?"
+//	reactctl -addr localhost:7341 task -id t1
 //	reactctl -addr localhost:7341 work -id alice -min 1s -max 5s -quality 0.9
 //	reactctl -addr localhost:7341 watch
+//	reactctl top -obs localhost:9090
 //
 // "work" emulates a crowd worker with the §V.C behaviour model: it
 // registers, receives assignments, works for a random time inside its band
 // (occasionally delaying), and submits an answer. "watch" streams every
 // task result and grades it with positive feedback when it met the
-// deadline.
+// deadline. "top" scrapes a reactd observability plane (-http) and renders
+// the /statusz snapshot; it talks HTTP, not the wire protocol.
+//
+// Exit status: 0 on success, 1 when the server reported an error or a
+// streaming connection was lost, 2 on usage errors.
 package main
 
 import (
@@ -34,6 +40,16 @@ func main() {
 	}
 	cmd, args := flag.Arg(0), flag.Args()[1:]
 
+	// top speaks HTTP to the observability plane, not the wire protocol;
+	// handle it before dialing so it works against a reactd whose protocol
+	// port is busy or firewalled.
+	if cmd == "top" {
+		if err := runTop(args); err != nil {
+			log.Fatalf("reactctl: %v", err)
+		}
+		return
+	}
+
 	client, err := wire.Dial(*addr)
 	if err != nil {
 		log.Fatalf("reactctl: dial %s: %v", *addr, err)
@@ -42,39 +58,46 @@ func main() {
 
 	switch cmd {
 	case "stats":
-		runStats(client)
+		err = runStats(client)
 	case "regions":
-		runRegions(client)
+		err = runRegions(client)
 	case "submit":
-		runSubmit(client, args)
+		err = runSubmit(client, args)
+	case "task":
+		err = runTask(client, args)
 	case "work":
-		runWork(client, args)
+		err = runWork(client, args)
 	case "watch":
-		runWatch(client)
+		err = runWatch(client)
 	default:
 		usage()
+	}
+	if err != nil {
+		client.Close()
+		log.Fatalf("reactctl: %v", err)
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: reactctl [-addr host:port] {stats|regions|submit|work|watch} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: reactctl [-addr host:port] {stats|regions|submit|task|work|watch|top} [flags]")
 	os.Exit(2)
 }
 
-func runStats(c *wire.Client) {
+func runStats(c *wire.Client) error {
 	st, err := c.Stats()
 	if err != nil {
-		log.Fatalf("reactctl: %v", err)
+		return err
 	}
 	fmt.Printf("received    %d\nassigned    %d\ncompleted   %d\non-time     %d\nexpired     %d\nreassigned  %d\nbatches     %d\nworkers     %d (known %d)\n",
 		st.Received, st.Assigned, st.Completed, st.OnTime, st.Expired,
 		st.Reassigned, st.Batches, st.WorkersOnline, st.WorkersKnown)
+	return nil
 }
 
-func runRegions(c *wire.Client) {
+func runRegions(c *wire.Client) error {
 	regions, err := c.Regions()
 	if err != nil {
-		log.Fatalf("reactctl: %v", err)
+		return err
 	}
 	fmt.Printf("%-10s %-9s %-9s %-9s %-8s %s\n",
 		"region", "received", "ontime", "expired", "workers", "reassigned")
@@ -83,9 +106,10 @@ func runRegions(c *wire.Client) {
 			r.Region, r.Stats.Received, r.Stats.OnTime, r.Stats.Expired,
 			r.Stats.WorkersOnline, r.Stats.Reassigned)
 	}
+	return nil
 }
 
-func runSubmit(c *wire.Client, args []string) {
+func runSubmit(c *wire.Client, args []string) error {
 	fs := flag.NewFlagSet("submit", flag.ExitOnError)
 	id := fs.String("id", "", "task id (required)")
 	deadline := fs.Duration("deadline", 90*time.Second, "relative deadline")
@@ -96,7 +120,7 @@ func runSubmit(c *wire.Client, args []string) {
 	reward := fs.Float64("reward", 0.05, "reward in dollars")
 	fs.Parse(args)
 	if *id == "" {
-		log.Fatal("reactctl submit: -id is required")
+		return fmt.Errorf("submit: -id is required")
 	}
 	err := c.Submit(wire.TaskPayload{
 		ID: *id, Lat: *lat, Lon: *lon,
@@ -104,12 +128,34 @@ func runSubmit(c *wire.Client, args []string) {
 		Reward:     *reward, Category: *category, Description: *desc,
 	})
 	if err != nil {
-		log.Fatalf("reactctl: %v", err)
+		return err
 	}
 	fmt.Printf("submitted %s (deadline %v)\n", *id, *deadline)
+	return nil
 }
 
-func runWork(c *wire.Client, args []string) {
+func runTask(c *wire.Client, args []string) error {
+	fs := flag.NewFlagSet("task", flag.ExitOnError)
+	id := fs.String("id", "", "task id (required)")
+	fs.Parse(args)
+	if *id == "" {
+		return fmt.Errorf("task: -id is required")
+	}
+	st, err := c.TaskStatus(*id)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("task     %s\nstate    %s\n", st.TaskID, st.State)
+	if st.Worker != "" {
+		fmt.Printf("worker   %s\n", st.Worker)
+	}
+	if st.State == "completed" {
+		fmt.Printf("on-time  %v\n", st.MetDeadline)
+	}
+	return nil
+}
+
+func runWork(c *wire.Client, args []string) error {
 	fs := flag.NewFlagSet("work", flag.ExitOnError)
 	id := fs.String("id", "", "worker id (required)")
 	lat := fs.Float64("lat", 37.98, "worker latitude")
@@ -121,17 +167,17 @@ func runWork(c *wire.Client, args []string) {
 	seed := fs.Int64("seed", time.Now().UnixNano(), "behaviour seed")
 	fs.Parse(args)
 	if *id == "" {
-		log.Fatal("reactctl work: -id is required")
+		return fmt.Errorf("work: -id is required")
 	}
 	b := crowd.Behavior{
 		MinExec: *minExec, MaxExec: *maxExec,
 		DelayProb: *delayP, MaxDelay: *maxDelay, Quality: 1,
 	}
 	if err := b.Validate(); err != nil {
-		log.Fatalf("reactctl work: %v", err)
+		return fmt.Errorf("work: %v", err)
 	}
 	if err := c.Register(*id, *lat, *lon); err != nil {
-		log.Fatalf("reactctl: %v", err)
+		return err
 	}
 	log.Printf("worker %s online; waiting for assignments", *id)
 	rng := rand.New(rand.NewSource(*seed))
@@ -147,23 +193,37 @@ func runWork(c *wire.Client, args []string) {
 		}
 		log.Printf("completed %s", a.TaskID)
 	}
+	// The assignment stream only closes when the connection dies; a worker
+	// that stops serving by accident must not report success.
+	return fmt.Errorf("work: connection to server lost")
 }
 
-func runWatch(c *wire.Client) {
+func runWatch(c *wire.Client) error {
 	if err := c.Watch(); err != nil {
-		log.Fatalf("reactctl: %v", err)
+		return err
 	}
 	log.Print("watching results (ctrl-c to stop)")
+	feedbackErrs := 0
 	for r := range c.Results() {
 		switch {
 		case r.Expired:
 			fmt.Printf("EXPIRED  %s\n", r.TaskID)
 		case r.MetDeadline:
 			fmt.Printf("ON-TIME  %s by %s: %s\n", r.TaskID, r.WorkerID, r.Answer)
-			c.Feedback(r.TaskID, true)
+			if err := c.Feedback(r.TaskID, true); err != nil {
+				log.Printf("feedback %s: %v", r.TaskID, err)
+				feedbackErrs++
+			}
 		default:
 			fmt.Printf("LATE     %s by %s: %s\n", r.TaskID, r.WorkerID, r.Answer)
-			c.Feedback(r.TaskID, false)
+			if err := c.Feedback(r.TaskID, false); err != nil {
+				log.Printf("feedback %s: %v", r.TaskID, err)
+				feedbackErrs++
+			}
 		}
 	}
+	if feedbackErrs > 0 {
+		return fmt.Errorf("watch: %d feedback(s) rejected before the stream ended", feedbackErrs)
+	}
+	return fmt.Errorf("watch: connection to server lost")
 }

@@ -6,12 +6,17 @@
 //
 //	reactd -addr :7341
 //	reactd -addr :7341 -matcher greedy -cycles 3000 -batch-bound 10
+//	reactd -addr :7341 -http :9090
 //
 // Interact with it using reactctl (register workers, submit tasks, watch
 // results) or any client speaking the newline-delimited JSON protocol.
+// With -http set, a read-only observability plane serves /metrics
+// (Prometheus text format), /statusz (JSON snapshot), and /debug/pprof/ on
+// its own listener; scrape it with `reactctl top` or any collector.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -20,13 +25,51 @@ import (
 	"syscall"
 	"time"
 
+	"react/internal/clock"
 	"react/internal/core"
+	"react/internal/engine"
 	"react/internal/federation"
 	"react/internal/matching"
+	"react/internal/metrics"
+	"react/internal/obs"
 	"react/internal/region"
 	"react/internal/schedule"
 	"react/internal/wire"
 )
+
+// obsWiring carries the observability plane's registry and region list
+// through server construction. Nil when -http is unset, so the metrics
+// hooks cost nothing in the default configuration.
+type obsWiring struct {
+	reg     *metrics.Registry
+	regions obs.RegionSet
+}
+
+// hookCollector chains a fresh collector into the core options' engine
+// hooks; register publishes it once the region server exists.
+func hookCollector(opts *core.Options) *obs.EngineCollector {
+	col := obs.NewEngineCollector()
+	prevReassign := opts.OnReassign
+	opts.OnReassign = func(taskID, workerID string, p float64) {
+		col.OnReassign(taskID, workerID, p)
+		if prevReassign != nil {
+			prevReassign(taskID, workerID, p)
+		}
+	}
+	opts.OnBatch = col.OnBatch
+	return col
+}
+
+// register publishes one engine's series and statusz row.
+func (ow *obsWiring) register(col *obs.EngineCollector, regionID string, eng *engine.Engine) {
+	if err := col.Register(ow.reg, eng, metrics.L("region", regionID)); err != nil {
+		// Duplicate registration is a wiring bug, not an operational
+		// condition; surface it loudly but keep serving tasks.
+		log.Printf("reactd: metrics for region %s: %v", regionID, err)
+		return
+	}
+	ow.regions.Add(obs.Source{ID: regionID, Engine: eng})
+}
 
 func main() {
 	addr := flag.String("addr", ":7341", "listen address")
@@ -44,6 +87,7 @@ func main() {
 	area := flag.String("area", "37.8,23.5,38.2,24.0", "geographic area as minLat,minLon,maxLat,maxLon (multi-region mode)")
 	idleTimeout := flag.Duration("idle-timeout", wire.DefaultIdleTimeout, "drop connections silent for this long (0 disables); clients keepalive-ping well under it")
 	shards := flag.Int("shards", 0, "task-bookkeeping stripes in the scheduling engine (0 = GOMAXPROCS)")
+	httpAddr := flag.String("http", "", "observability plane listen address (e.g. :9090); empty disables /metrics, /statusz, /debug/pprof")
 	flag.Parse()
 
 	var matcher matching.Matcher
@@ -79,22 +123,51 @@ func main() {
 	}
 	opts.Monitor.Threshold = *threshold
 
+	var ow *obsWiring
+	if *httpAddr != "" {
+		ow = &obsWiring{reg: metrics.NewRegistry()}
+	}
+
 	var srv *wire.Server
 	var err error
 	if *grid != "" {
-		srv, err = serveGrid(*addr, *grid, *area, opts)
+		srv, err = serveGrid(*addr, *grid, *area, opts, ow)
 		if *profiles != "" {
 			log.Print("reactd: -profiles is ignored in multi-region mode")
 			*profiles = ""
 		}
 	} else {
+		var col *obs.EngineCollector
+		if ow != nil {
+			col = hookCollector(&opts)
+		}
 		srv, err = wire.Serve(*addr, opts)
+		if err == nil && ow != nil {
+			ow.register(col, "all", srv.Core().Engine())
+		}
 	}
 	if err != nil {
 		log.Fatalf("reactd: %v", err)
 	}
 	srv.SetIdleTimeout(*idleTimeout)
 	log.Printf("reactd: listening on %s (matcher=%s, grid=%q)", srv.Addr(), *matcherName, *grid)
+
+	var plane *obs.Server
+	if ow != nil {
+		if err := obs.RegisterWireServer(ow.reg, srv); err != nil {
+			log.Fatalf("reactd: wire metrics: %v", err)
+		}
+		plane = obs.NewServer(obs.Options{
+			Clock:    clock.System{},
+			Registry: ow.reg,
+			Regions:  ow.regions.Snapshot,
+			Logf:     log.Printf,
+		})
+		if err := plane.Start(*httpAddr); err != nil {
+			log.Fatalf("reactd: %v", err)
+		}
+		log.Printf("reactd: observability plane on http://%s (/metrics /statusz /debug/pprof/)", plane.Addr())
+	}
 
 	if *profiles != "" && srv.Core() != nil {
 		if f, err := os.Open(*profiles); err == nil {
@@ -127,6 +200,13 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Print("reactd: shutting down")
+	if plane != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := plane.Shutdown(ctx); err != nil {
+			log.Printf("reactd: observability shutdown: %v", err)
+		}
+		cancel()
+	}
 	if *profiles != "" && srv.Core() != nil {
 		if err := saveProfiles(srv, *profiles); err != nil {
 			log.Printf("reactd: saving profiles: %v", err)
@@ -142,7 +222,7 @@ func main() {
 // serveGrid hosts one region server per grid cell behind a single port,
 // routing by geography — the paper's spatial decomposition as a deployment
 // flag.
-func serveGrid(addr, gridSpec, areaSpec string, opts core.Options) (*wire.Server, error) {
+func serveGrid(addr, gridSpec, areaSpec string, opts core.Options, ow *obsWiring) (*wire.Server, error) {
 	var rows, cols int
 	if _, err := fmt.Sscanf(gridSpec, "%dx%d", &rows, &cols); err != nil {
 		return nil, fmt.Errorf("bad -grid %q (want RxC): %v", gridSpec, err)
@@ -167,7 +247,16 @@ func serveGrid(addr, gridSpec, areaSpec string, opts core.Options) (*wire.Server
 	}
 	coord := federation.New(g, func(regionID string) *core.Server {
 		log.Printf("reactd: starting region server %s", regionID)
-		return core.New(regionOpts)
+		if ow == nil {
+			return core.New(regionOpts)
+		}
+		// Each region gets its own collector so the shared registry
+		// carries one series set per region label.
+		ropts := regionOpts
+		col := hookCollector(&ropts)
+		s := core.New(ropts)
+		ow.register(col, regionID, s.Engine())
+		return s
 	})
 	return wire.ServeBackend(addr, coord, &relay)
 }

@@ -53,6 +53,11 @@ type Options struct {
 	// OnReassign, if set, is invoked when the monitor revokes an
 	// assignment.
 	OnReassign func(taskID, workerID string, probability float64)
+	// OnBatch, if set, is invoked once per scheduling round with the
+	// round's shape and timings (graph size, pruning, matcher wall time) —
+	// the hook the observability plane feeds its latency histograms from.
+	// Called from server goroutines; implementations must not block.
+	OnBatch func(engine.BatchInfo)
 
 	// Retention bounds how long terminal task records are kept for late
 	// Feedback and diagnostics before being garbage-collected. Zero keeps
@@ -140,6 +145,7 @@ func New(opts Options) *Server {
 			}
 		},
 		OnReassign: opts.OnReassign,
+		OnBatch:    opts.OnBatch,
 	})
 	s.feeds.init(s.eng.Tasks().Shards())
 	return s

@@ -160,6 +160,33 @@ func (s *TaskStore) Counts() (unassigned, assigned, completed, expired int) {
 	return
 }
 
+// ShardStat is one stripe's depth snapshot for the observability plane.
+type ShardStat struct {
+	Shard               int // stripe index
+	Unassigned          int // tasks waiting for a worker
+	Assigned            int // tasks in a worker's hands
+	Terminal            int // completed + expired records still retained
+	UnassignedHighWater int // peak unassigned backlog ever held by this stripe
+}
+
+// ShardStats snapshots every stripe's depths and high-water marks, in
+// stripe order. Each shard is locked independently, so the rows are not a
+// single consistent cut — fine for monitoring, wrong for accounting.
+func (s *TaskStore) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(s.shards))
+	for i, m := range s.shards {
+		u, a, c, e := m.Counts()
+		out[i] = ShardStat{
+			Shard:               i,
+			Unassigned:          u,
+			Assigned:            a,
+			Terminal:            c + e,
+			UnassignedHighWater: m.UnassignedHighWater(),
+		}
+	}
+	return out
+}
+
 // Total reports how many tasks have ever been submitted.
 func (s *TaskStore) Total() int {
 	n := 0

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"react/internal/clock"
+	"react/internal/engine"
+	"react/internal/matching"
+	"react/internal/region"
+	"react/internal/schedule"
+	"react/internal/taskq"
+)
+
+// EngineBenchConfig shapes one engine-throughput run: the workload behind
+// BenchmarkEngineThroughput and `reactbench -check`, shared so the CI gate
+// measures exactly what the benchmark measures.
+type EngineBenchConfig struct {
+	Shards     int // task-store stripes (default 1)
+	Ops        int // submit→assign→complete cycles to drive (default 20000)
+	Workers    int // completing goroutines (default 32)
+	BatchBound int // batch trigger bound (default 16)
+	// Wall supplies wall time for the throughput measurement. The engine
+	// itself runs on a virtual clock (deadlines never expire; every config
+	// completes identical work) — Wall only times it. Default the system
+	// clock.
+	Wall clock.Clock
+}
+
+func (c EngineBenchConfig) normalize() EngineBenchConfig {
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
+	if c.Ops <= 0 {
+		c.Ops = 20000
+	}
+	if c.Workers <= 0 {
+		c.Workers = 32
+	}
+	if c.BatchBound <= 0 {
+		c.BatchBound = 16
+	}
+	if c.Wall == nil {
+		c.Wall = clock.System{}
+	}
+	return c
+}
+
+// EngineBenchResult is one run's measurements.
+type EngineBenchResult struct {
+	Shards        int     `json:"shards"`
+	Ops           int     `json:"ops"`
+	ElapsedNS     int64   `json:"elapsed_ns"`
+	Completed     int64   `json:"completed"`
+	Expired       int64   `json:"expired"`
+	Batches       int64   `json:"batches"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	CyclesPerSec  float64 `json:"cycles_per_sec"`
+	BatchesPerKop float64 `json:"batches_per_kop"`
+}
+
+// RunEngineBench pushes cfg.Ops submit→assign→complete cycles through a
+// sharded engine as fast as one driver goroutine can offer them, with
+// cfg.Workers goroutines completing whatever they are handed, then drains
+// until every task has completed. See bench_test.go for why the shard
+// count is the interesting variable: a single stripe serializes
+// completions behind the driver's own lock, the backlog outruns the batch
+// bound, and the Θ(V·E) greedy scan amplifies the contention
+// quadratically.
+func RunEngineBench(cfg EngineBenchConfig) (EngineBenchResult, error) {
+	cfg = cfg.normalize()
+	clk := clock.NewVirtual(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	feeds := make([]chan engine.Assignment, cfg.Workers)
+	feedIdx := make(map[string]int, cfg.Workers)
+	for i := range feeds {
+		feeds[i] = make(chan engine.Assignment, 8)
+		feedIdx[fmt.Sprintf("w%02d", i)] = i
+	}
+	eng := engine.New(engine.Config{
+		Clock:   clk,
+		Matcher: matching.Greedy{},
+		Schedule: schedule.Config{
+			BatchBound:  cfg.BatchBound,
+			BatchPeriod: time.Second,
+		},
+		Shards: cfg.Shards,
+		// GC terminal records aggressively so the store holds only live
+		// tasks and the run measures steady state, not map growth.
+		Retention: time.Nanosecond,
+	}, engine.Hooks{
+		Deliver: func(a engine.Assignment) bool {
+			select {
+			case feeds[feedIdx[a.WorkerID]] <- a:
+				return true
+			default:
+				return false // feed full; engine revokes and re-matches later
+			}
+		},
+	})
+	for w := 0; w < cfg.Workers; w++ {
+		if _, err := eng.AttachWorker(fmt.Sprintf("w%02d", w), region.Point{Lat: 38, Lon: 23.7}); err != nil {
+			return EngineBenchResult{}, err
+		}
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{}, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		w := w
+		go func() {
+			defer func() { finished <- struct{}{} }()
+			id := fmt.Sprintf("w%02d", w)
+			for {
+				select {
+				case <-done:
+					return
+				case a := <-feeds[w]:
+					if _, _, err := eng.Complete(a.TaskID, id, "ok"); err == nil {
+						eng.Feedback(a.TaskID, true)
+					}
+				}
+			}
+		}()
+	}
+
+	start := cfg.Wall.Now()
+	for i := 0; i < cfg.Ops; i++ {
+		clk.Advance(time.Microsecond)
+		if err := eng.Submit(taskq.Task{
+			ID:       fmt.Sprintf("t%08d", i),
+			Deadline: clk.Now().Add(1000 * time.Hour),
+			Reward:   1,
+		}); err != nil {
+			close(done)
+			return EngineBenchResult{}, err
+		}
+		eng.TryBatch()
+		if i%256 == 0 {
+			eng.TickRetention()
+		}
+	}
+	// Drain: small advances keep every deadline live (nothing may escape
+	// by expiring), so every shard configuration finishes the identical
+	// cfg.Ops completions.
+	for {
+		st := eng.Stats()
+		if st.Completed+st.Expired == int64(cfg.Ops) {
+			break
+		}
+		clk.Advance(2 * time.Second)
+		eng.TryBatch()
+	}
+	elapsed := cfg.Wall.Now().Sub(start)
+	close(done)
+	for w := 0; w < cfg.Workers; w++ {
+		<-finished
+	}
+
+	st := eng.Stats()
+	res := EngineBenchResult{
+		Shards:    cfg.Shards,
+		Ops:       cfg.Ops,
+		ElapsedNS: elapsed.Nanoseconds(),
+		Completed: st.Completed,
+		Expired:   st.Expired,
+		Batches:   st.Batches,
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		res.CyclesPerSec = float64(st.Completed) / secs
+	}
+	res.NsPerOp = float64(elapsed.Nanoseconds()) / float64(cfg.Ops)
+	res.BatchesPerKop = float64(st.Batches) / float64(cfg.Ops) * 1000
+	return res, nil
+}

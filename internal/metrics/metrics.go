@@ -108,6 +108,7 @@ type Histogram struct {
 	buckets []int64
 	over    int64
 	total   int64
+	sum     float64
 }
 
 // NewHistogram creates a histogram with n buckets of the given width.
@@ -132,6 +133,15 @@ func (h *Histogram) Observe(x float64) {
 		h.buckets[i]++
 	}
 	h.total++
+	h.sum += x
+}
+
+// Sum reports the total of all observed samples (after the non-negative
+// clamp) — the _sum series of the histogram's text exposition.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
 }
 
 // Count reports total samples.

@@ -1,0 +1,276 @@
+// Collectors bridge the running system into the metrics.Registry: engine
+// counters become counter families read at scrape time, per-shard task
+// depths become labelled gauges, and the engine's hook stream (OnBatch,
+// OnReassign) feeds histograms and revocation counters that no polling
+// snapshot could reconstruct.
+package obs
+
+import (
+	"fmt"
+
+	"react/internal/engine"
+	"react/internal/metrics"
+	"react/internal/wire"
+)
+
+// matcherHistogramWidth/Buckets shape the matcher wall-time histogram:
+// 1 ms buckets up to 250 ms, overflow beyond. The paper's matchers run in
+// tens of milliseconds at batch-bound scale; a round in the overflow
+// bucket is itself the signal (queue collapse, §V.C).
+const (
+	matcherHistogramWidth   = 0.001
+	matcherHistogramBuckets = 250
+)
+
+// batchSizeHistogramWidth/Buckets shape the per-round task-count
+// histogram: width 8 up to 1024 tasks.
+const (
+	batchSizeHistogramWidth   = 8
+	batchSizeHistogramBuckets = 128
+)
+
+// EngineCollector observes one scheduling engine. Create it before the
+// engine's host so its OnBatch/OnReassign methods can be wired as hooks,
+// then call Register once the engine exists.
+//
+// All hook methods are safe for concurrent use and never block: they only
+// touch the package's lock-striped primitives.
+type EngineCollector struct {
+	matcherElapsed *metrics.Histogram // measured matcher wall time per round (s)
+	matcherModel   *metrics.Histogram // modelled latency charged via Config.Latency (s)
+	batchTasks     *metrics.Histogram // unassigned tasks per round
+	batchWorkers   *metrics.Welford   // available workers per round
+	batchEdges     *metrics.Welford   // Eq. 3 edges instantiated per round
+	prunedProb     metrics.Counter    // edges dropped by the probability bound
+	prunedReward   metrics.Counter    // edges dropped by the reward-range filter
+	reassignEq2    metrics.Counter    // Eq. 2 revocations (monitor)
+	reassignDetach metrics.Counter    // revocations from worker detach
+}
+
+// NewEngineCollector creates a collector with empty instruments.
+func NewEngineCollector() *EngineCollector {
+	me, err := metrics.NewHistogram(matcherHistogramWidth, matcherHistogramBuckets)
+	if err != nil {
+		panic(err) // constants above are valid by construction
+	}
+	mm, err := metrics.NewHistogram(matcherHistogramWidth, matcherHistogramBuckets)
+	if err != nil {
+		panic(err)
+	}
+	bt, err := metrics.NewHistogram(batchSizeHistogramWidth, batchSizeHistogramBuckets)
+	if err != nil {
+		panic(err)
+	}
+	return &EngineCollector{
+		matcherElapsed: me,
+		matcherModel:   mm,
+		batchTasks:     bt,
+		batchWorkers:   &metrics.Welford{},
+		batchEdges:     &metrics.Welford{},
+	}
+}
+
+// OnBatch is wired as the engine's (or core.Options') OnBatch hook.
+func (c *EngineCollector) OnBatch(b engine.BatchInfo) {
+	c.matcherElapsed.Observe(b.Elapsed.Seconds())
+	if b.Latency > 0 {
+		c.matcherModel.Observe(b.Latency.Seconds())
+	}
+	c.batchTasks.Observe(float64(b.Tasks))
+	c.batchWorkers.Observe(float64(b.Workers))
+	c.batchEdges.Observe(float64(b.Edges))
+	c.prunedProb.Add(int64(b.PrunedProb))
+	c.prunedReward.Add(int64(b.PrunedReward))
+}
+
+// OnReassign is wired as the engine's (or core.Options') OnReassign hook.
+// probability > 0 marks an Eq. 2 revocation; 0 marks a worker detach.
+func (c *EngineCollector) OnReassign(taskID, workerID string, probability float64) {
+	if probability > 0 {
+		c.reassignEq2.Inc()
+	} else {
+		c.reassignDetach.Inc()
+	}
+}
+
+// Register adds the collector's instruments plus the engine's own counters
+// and per-shard depths to reg. The labels (e.g. region="athens-ne") are
+// attached to every family, so several engines can share one registry.
+// Registration errors are programming bugs (duplicate names/labels) and
+// are returned for the caller to fail fast on.
+func (c *EngineCollector) Register(reg *metrics.Registry, eng *engine.Engine, labels ...metrics.Label) error {
+	stat := func(read func(engine.Stats) float64) func() float64 {
+		return func() float64 { return read(eng.Stats()) }
+	}
+	counters := []struct {
+		name, help string
+		read       func(engine.Stats) float64
+	}{
+		{"react_engine_tasks_received_total", "tasks submitted to the engine", func(s engine.Stats) float64 { return float64(s.Received) }},
+		{"react_engine_tasks_assigned_total", "assignments applied and delivered", func(s engine.Stats) float64 { return float64(s.Assigned) }},
+		{"react_engine_tasks_completed_total", "tasks completed by workers", func(s engine.Stats) float64 { return float64(s.Completed) }},
+		{"react_engine_tasks_ontime_total", "completions at or before the deadline", func(s engine.Stats) float64 { return float64(s.OnTime) }},
+		{"react_engine_tasks_expired_total", "tasks that left the repository unserved", func(s engine.Stats) float64 { return float64(s.Expired) }},
+		{"react_engine_tasks_reassigned_total", "assignments revoked (Eq. 2 monitor + detaches)", func(s engine.Stats) float64 { return float64(s.Reassigned) }},
+		{"react_engine_batches_total", "scheduling rounds run", func(s engine.Stats) float64 { return float64(s.Batches) }},
+		{"react_engine_matcher_seconds_total", "cumulative matcher wall time", func(s engine.Stats) float64 { return s.MatcherTime.Seconds() }},
+	}
+	for _, m := range counters {
+		if err := reg.RegisterCounterFunc(m.name, m.help, stat(m.read), labels...); err != nil {
+			return err
+		}
+	}
+
+	if err := reg.RegisterHistogram("react_engine_matcher_latency_seconds",
+		"measured matcher wall time per scheduling round", c.matcherElapsed, labels...); err != nil {
+		return err
+	}
+	if err := reg.RegisterHistogram("react_engine_matcher_model_latency_seconds",
+		"modelled matcher latency charged per round (Config.Latency)", c.matcherModel, labels...); err != nil {
+		return err
+	}
+	if err := reg.RegisterHistogram("react_engine_batch_tasks",
+		"unassigned tasks snapshotted per scheduling round", c.batchTasks, labels...); err != nil {
+		return err
+	}
+	if err := reg.RegisterSummary("react_engine_batch_workers",
+		"available workers snapshotted per scheduling round", c.batchWorkers, labels...); err != nil {
+		return err
+	}
+	if err := reg.RegisterSummary("react_engine_batch_edges",
+		"Eq. 3 edges instantiated per scheduling round", c.batchEdges, labels...); err != nil {
+		return err
+	}
+	if err := reg.RegisterCounter("react_engine_edges_pruned_prob_total",
+		"edges dropped by the Eq. 3 probability bound", &c.prunedProb, labels...); err != nil {
+		return err
+	}
+	if err := reg.RegisterCounter("react_engine_edges_pruned_reward_total",
+		"edges dropped by the reward-range filter", &c.prunedReward, labels...); err != nil {
+		return err
+	}
+	if err := reg.RegisterCounter("react_engine_reassign_eq2_total",
+		"Eq. 2 monitor revocations", &c.reassignEq2, labels...); err != nil {
+		return err
+	}
+	if err := reg.RegisterCounter("react_engine_reassign_detach_total",
+		"revocations caused by worker detach", &c.reassignDetach, labels...); err != nil {
+		return err
+	}
+
+	// Worker-registry gauges.
+	workers := eng.Workers()
+	if err := reg.RegisterGauge("react_workers_online",
+		"connected workers (busy or idle)", func() float64 { return float64(workers.CountConnected()) }, labels...); err != nil {
+		return err
+	}
+	if err := reg.RegisterGauge("react_workers_known",
+		"every profile the engine remembers, including detached workers", func() float64 { return float64(workers.Size()) }, labels...); err != nil {
+		return err
+	}
+	if err := reg.RegisterGauge("react_workers_available",
+		"connected idle workers eligible for matching", func() float64 { return float64(len(workers.Available())) }, labels...); err != nil {
+		return err
+	}
+
+	// Per-shard taskq depths and high-water marks. The shard count is
+	// fixed at engine construction, so the series set is stable.
+	store := eng.Tasks()
+	for i := 0; i < store.Shards(); i++ {
+		i := i
+		shardLabels := append(append([]metrics.Label(nil), labels...), metrics.L("shard", fmt.Sprintf("%d", i)))
+		depth := func(read func(engine.ShardStat) float64) func() float64 {
+			return func() float64 { return read(store.ShardStats()[i]) }
+		}
+		if err := reg.RegisterGauge("react_taskq_unassigned",
+			"tasks waiting for a worker, per stripe", depth(func(s engine.ShardStat) float64 { return float64(s.Unassigned) }), shardLabels...); err != nil {
+			return err
+		}
+		if err := reg.RegisterGauge("react_taskq_assigned",
+			"tasks in a worker's hands, per stripe", depth(func(s engine.ShardStat) float64 { return float64(s.Assigned) }), shardLabels...); err != nil {
+			return err
+		}
+		if err := reg.RegisterGauge("react_taskq_terminal",
+			"completed+expired records retained, per stripe", depth(func(s engine.ShardStat) float64 { return float64(s.Terminal) }), shardLabels...); err != nil {
+			return err
+		}
+		if err := reg.RegisterGauge("react_taskq_unassigned_highwater",
+			"peak unassigned backlog ever held, per stripe", depth(func(s engine.ShardStat) float64 { return float64(s.UnassignedHighWater) }), shardLabels...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RegisterWireServer adds a wire transport's connection/frame counters
+// to reg.
+func RegisterWireServer(reg *metrics.Registry, srv *wire.Server, labels ...metrics.Label) error {
+	snap := func(read func(wire.ServerMetrics) float64) func() float64 {
+		return func() float64 { return read(srv.Metrics()) }
+	}
+	gauges := []struct {
+		name, help string
+		read       func(wire.ServerMetrics) float64
+	}{
+		{"react_wire_connections_active", "connections currently open", func(m wire.ServerMetrics) float64 { return float64(m.ConnsActive) }},
+		{"react_wire_watchers", "connections subscribed to result pushes", func(m wire.ServerMetrics) float64 { return float64(m.Watchers) }},
+	}
+	for _, g := range gauges {
+		if err := reg.RegisterGauge(g.name, g.help, snap(g.read), labels...); err != nil {
+			return err
+		}
+	}
+	counters := []struct {
+		name, help string
+		read       func(wire.ServerMetrics) float64
+	}{
+		{"react_wire_connections_total", "connections ever accepted", func(m wire.ServerMetrics) float64 { return float64(m.ConnsTotal) }},
+		{"react_wire_frames_read_total", "frames parsed off all connections", func(m wire.ServerMetrics) float64 { return float64(m.FramesRead) }},
+		{"react_wire_frames_written_total", "frames written (responses + pushes)", func(m wire.ServerMetrics) float64 { return float64(m.FramesWritten) }},
+		{"react_wire_bad_frames_total", "inbound frames that failed to parse", func(m wire.ServerMetrics) float64 { return float64(m.BadFrames) }},
+		{"react_wire_errors_sent_total", "error responses sent", func(m wire.ServerMetrics) float64 { return float64(m.ErrorsSent) }},
+	}
+	for _, c := range counters {
+		if err := reg.RegisterCounterFunc(c.name, c.help, snap(c.read), labels...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RegisterClientMetrics adds one wire client's push-queue depths and Seq
+// health counters to reg — useful for tools (loadgen, relays) that expose
+// their own plane.
+func RegisterClientMetrics(reg *metrics.Registry, read func() wire.ClientMetrics, labels ...metrics.Label) error {
+	snap := func(f func(wire.ClientMetrics) float64) func() float64 {
+		return func() float64 { return f(read()) }
+	}
+	gauges := []struct {
+		name, help string
+		read       func(wire.ClientMetrics) float64
+	}{
+		{"react_wire_client_assignment_backlog", "assignment pushes queued but not yet consumed", func(m wire.ClientMetrics) float64 { return float64(m.AssignmentBacklog) }},
+		{"react_wire_client_assignment_highwater", "peak assignment backlog over the connection", func(m wire.ClientMetrics) float64 { return float64(m.AssignmentHighWater) }},
+		{"react_wire_client_result_backlog", "result pushes queued but not yet consumed", func(m wire.ClientMetrics) float64 { return float64(m.ResultBacklog) }},
+		{"react_wire_client_result_highwater", "peak result backlog over the connection", func(m wire.ClientMetrics) float64 { return float64(m.ResultHighWater) }},
+	}
+	for _, g := range gauges {
+		if err := reg.RegisterGauge(g.name, g.help, snap(g.read), labels...); err != nil {
+			return err
+		}
+	}
+	counters := []struct {
+		name, help string
+		read       func(wire.ClientMetrics) float64
+	}{
+		{"react_wire_client_stale_responses_total", "late responses discarded by Seq correlation", func(m wire.ClientMetrics) float64 { return float64(m.StaleResponses) }},
+		{"react_wire_client_mismatched_responses_total", "responses whose Seq matched no outstanding request", func(m wire.ClientMetrics) float64 { return float64(m.MismatchedResponses) }},
+		{"react_wire_client_dropped_responses_total", "responses dropped because nothing awaited them", func(m wire.ClientMetrics) float64 { return float64(m.DroppedResponses) }},
+	}
+	for _, c := range counters {
+		if err := reg.RegisterCounterFunc(c.name, c.help, snap(c.read), labels...); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -252,6 +252,15 @@ func (p *Profile) Model(minHistory int) (powerlaw.Model, bool) {
 	return m, true
 }
 
+// FitSamples reports how many positive execution-time samples the
+// power-law fitter holds — the quantity that says how far a worker is from
+// the training threshold even while Model still returns false.
+func (p *Profile) FitSamples() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fitter.N()
+}
+
 // Registry is the set of known workers, keyed by worker id. It is safe for
 // concurrent use.
 type Registry struct {

@@ -85,6 +85,10 @@ type Manager struct {
 	mu      sync.Mutex
 	records map[string]*Record
 	counts  [4]int
+	// unassignedHW is the peak unassigned backlog ever observed — the
+	// quantity that reveals batch-trigger starvation or matcher collapse
+	// on a dashboard long after the spike itself has drained.
+	unassignedHW int
 }
 
 // NewManager creates a manager reading time from clk.
@@ -107,6 +111,9 @@ func (m *Manager) Submit(t Task) error {
 	t.Submitted = now
 	m.records[t.ID] = &Record{Task: t, Status: Unassigned}
 	m.counts[Unassigned]++
+	if m.counts[Unassigned] > m.unassignedHW {
+		m.unassignedHW = m.counts[Unassigned]
+	}
 	return nil
 }
 
@@ -358,6 +365,17 @@ func (m *Manager) transition(r *Record, to Status) {
 	m.counts[r.Status]--
 	m.counts[to]++
 	r.Status = to
+	if to == Unassigned && m.counts[Unassigned] > m.unassignedHW {
+		m.unassignedHW = m.counts[Unassigned]
+	}
+}
+
+// UnassignedHighWater reports the peak unassigned backlog this manager has
+// ever held (submissions plus Eq. 2 / detach returns to the pool).
+func (m *Manager) UnassignedHighWater() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.unassignedHW
 }
 
 // MetDeadline reports whether a completed record finished at or before its

@@ -461,3 +461,40 @@ func TestMarkGradedOnce(t *testing.T) {
 		t.Fatal("record not marked graded")
 	}
 }
+
+func TestUnassignedHighWater(t *testing.T) {
+	m, _ := newTestManager()
+	if hw := m.UnassignedHighWater(); hw != 0 {
+		t.Fatalf("fresh manager high-water = %d, want 0", hw)
+	}
+	for i := 0; i < 3; i++ {
+		if err := m.Submit(testTask(fmt.Sprintf("t%d", i), 90*time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hw := m.UnassignedHighWater(); hw != 3 {
+		t.Fatalf("high-water after 3 submissions = %d, want 3", hw)
+	}
+	// Draining the backlog must not lower the mark.
+	for i := 0; i < 3; i++ {
+		if err := m.Assign(fmt.Sprintf("t%d", i), "w1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hw := m.UnassignedHighWater(); hw != 3 {
+		t.Fatalf("high-water after drain = %d, want 3", hw)
+	}
+	// A return to the pool counts toward a new peak: 2 in pool < 3, then
+	// submissions push past the old mark.
+	if err := m.Unassign("t0"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 3; i < 6; i++ {
+		if err := m.Submit(testTask(fmt.Sprintf("t%d", i), 90*time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hw := m.UnassignedHighWater(); hw != 4 {
+		t.Fatalf("high-water after refill = %d, want 4", hw)
+	}
+}

@@ -77,11 +77,46 @@ type Server struct {
 
 	idle atomic.Int64 // per-connection read deadline (ns); <=0 disables
 
+	// Transport-level health counters, snapshotted by Metrics for the
+	// observability plane. Atomics: the read loops bump them per frame.
+	connsTotal    atomic.Int64
+	framesRead    atomic.Int64
+	framesWritten atomic.Int64
+	badFrames     atomic.Int64
+	errorsSent    atomic.Int64
+
 	mu       sync.Mutex
 	watchers map[*conn]struct{}
 	conns    map[*conn]struct{}
 	wg       sync.WaitGroup
 	closed   bool
+}
+
+// ServerMetrics is a snapshot of one Server's transport-level counters.
+type ServerMetrics struct {
+	ConnsActive   int   // connections currently open
+	ConnsTotal    int64 // connections ever accepted
+	Watchers      int   // connections subscribed to result pushes
+	FramesRead    int64 // frames parsed off all connections
+	FramesWritten int64 // frames written (responses + pushes)
+	BadFrames     int64 // inbound frames that failed to parse
+	ErrorsSent    int64 // "error" responses sent
+}
+
+// Metrics snapshots the transport counters.
+func (s *Server) Metrics() ServerMetrics {
+	s.mu.Lock()
+	active, watchers := len(s.conns), len(s.watchers)
+	s.mu.Unlock()
+	return ServerMetrics{
+		ConnsActive:   active,
+		ConnsTotal:    s.connsTotal.Load(),
+		Watchers:      watchers,
+		FramesRead:    s.framesRead.Load(),
+		FramesWritten: s.framesWritten.Load(),
+		BadFrames:     s.badFrames.Load(),
+		ErrorsSent:    s.errorsSent.Load(),
+	}
 }
 
 type conn struct {
@@ -186,6 +221,7 @@ func (s *Server) acceptLoop() {
 			return // listener closed
 		}
 		c := &conn{c: nc, enc: json.NewEncoder(nc), srv: s}
+		s.connsTotal.Add(1)
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -222,13 +258,18 @@ func (c *conn) send(m Message) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	c.c.SetWriteDeadline(time.Now().Add(10 * time.Second))
-	return c.enc.Encode(m)
+	err := c.enc.Encode(m)
+	if err == nil {
+		c.srv.framesWritten.Add(1)
+	}
+	return err
 }
 
 // reply answers one request, echoing its sequence number so the client
 // can correlate the response even after its own call timed out.
 func (c *conn) reply(seq uint64, err error) {
 	if err != nil {
+		c.srv.errorsSent.Add(1)
 		c.send(Message{Type: "error", Seq: seq, Error: err.Error()})
 		return
 	}
@@ -253,8 +294,11 @@ func (c *conn) readLoop() {
 		if !scanner.Scan() {
 			return // EOF, error, or idle deadline
 		}
+		c.srv.framesRead.Add(1)
 		var m Message
 		if err := json.Unmarshal(scanner.Bytes(), &m); err != nil {
+			c.srv.badFrames.Add(1)
+			c.srv.errorsSent.Add(1)
 			c.send(Message{Type: "error", Seq: m.Seq, Error: "bad message: " + err.Error()})
 			continue
 		}
