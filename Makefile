@@ -5,11 +5,12 @@ GO ?= go
 # on every change.
 RACE_PKGS = ./internal/engine ./internal/core ./internal/wire ./internal/federation ./internal/taskq ./internal/faultnet ./internal/obs
 # Packages whose statement coverage must not fall below COVER_FLOOR; the
-# scheduling engine and the metrics layer are the paper's core claims.
-COVER_PKGS = internal/engine internal/metrics
+# scheduling engine and the metrics layer are the paper's core claims,
+# and the linter is the gate everything else leans on.
+COVER_PKGS = internal/engine internal/metrics internal/lint
 COVER_FLOOR = 70
 
-.PHONY: all build lint vet test race chaos determinism bench coverage ci
+.PHONY: all build lint lint-typed lockorder lockorder-check vet test race chaos determinism bench coverage ci
 
 all: build lint test
 
@@ -19,11 +20,28 @@ build:
 vet:
 	$(GO) vet ./...
 
-# reactlint is the project-specific suite (docs/LINTING.md): clock
-# discipline, seeded randomness, lock hygiene, goroutine lifecycle,
-# dropped errors, print-debugging. Exits non-zero on any finding.
+# reactlint is the project-specific suite (docs/LINTING.md). Both tiers:
+# syntactic (clock discipline, seeded randomness, lock hygiene, goroutine
+# lifecycle, dropped errors, print-debugging) and typed (lock-order
+# deadlock detection, hook reentrancy, blocking-under-lock,
+# interprocedural clock/RNG taint). Exits non-zero on any finding.
 lint: vet
 	$(GO) run ./cmd/reactlint ./...
+
+# Just the typed dataflow tier (type-checks the module; slower than the
+# syntactic tier, still a few seconds).
+lint-typed:
+	$(GO) run ./cmd/reactlint -tier typed ./...
+
+# Regenerate the inferred lock-ordering document from the current code.
+lockorder:
+	$(GO) run ./cmd/reactlint -lockorder-out docs/LOCKORDER.md ./...
+
+# CI gate: docs/LOCKORDER.md must match what the code implies.
+lockorder-check:
+	@$(GO) run ./cmd/reactlint -lockorder-out /tmp/LOCKORDER.regen.md ./... || true
+	@cmp docs/LOCKORDER.md /tmp/LOCKORDER.regen.md || { \
+		echo "docs/LOCKORDER.md is out of date; run 'make lockorder' and commit the result"; exit 1; }
 
 test:
 	$(GO) test ./...

@@ -164,6 +164,7 @@ func runWork(c *wire.Client, args []string) error {
 	maxExec := fs.Duration("max", 5*time.Second, "slowest base completion")
 	delayP := fs.Float64("delay-prob", 0, "probability of delaying a task")
 	maxDelay := fs.Duration("max-delay", 30*time.Second, "worst delayed completion")
+	//lint:ignore clocktaint interactive default: a fresh seed per run is the point; pass -seed to reproduce
 	seed := fs.Int64("seed", time.Now().UnixNano(), "behaviour seed")
 	fs.Parse(args)
 	if *id == "" {

@@ -1,16 +1,22 @@
 // Command reactlint runs REACT's project-specific static-analysis
-// suite over the module: clock discipline, seeded randomness, lock
-// hygiene, goroutine lifecycle, dropped errors, and print-debugging.
-// These are the invariants that keep the simulation deterministic and
-// the deployed middleware shut-downable; see docs/LINTING.md.
+// suite over the module in two tiers. The syntactic tier (go/ast, one
+// goroutine per package) checks clock discipline, seeded randomness,
+// lock hygiene, goroutine lifecycle, dropped errors, and
+// print-debugging. The typed tier type-checks the module with go/types,
+// builds per-function CFGs and a module-wide call graph, and runs a
+// lock-state dataflow: lock-order deadlock detection, hook reentrancy,
+// blocking-under-lock, and interprocedural clock/RNG taint. These are
+// the invariants that keep the simulation deterministic and the
+// deployed middleware shut-downable; see docs/LINTING.md.
 //
 // Usage:
 //
 //	reactlint ./...                  # lint the module containing the cwd
-//	reactlint path/to/module         # lint another module root
+//	reactlint -tier syntactic ./...  # fast tier only (no type checking)
 //	reactlint -json ./...            # machine-readable findings
 //	reactlint -list                  # describe the analyzers
 //	reactlint -disable errdrop ./... # per-analyzer switches
+//	reactlint -lockorder-out docs/LOCKORDER.md ./...  # regenerate lock doc
 //
 // Exit status: 0 when clean, 1 when findings were reported, 2 on a
 // usage or load error.
@@ -30,21 +36,39 @@ func main() {
 		jsonOut = flag.Bool("json", false, "emit findings as JSON")
 		enable  = flag.String("enable", "", "comma-separated analyzers to run (default: all)")
 		disable = flag.String("disable", "", "comma-separated analyzers to skip")
+		tier    = flag.String("tier", "all", "analysis tier: syntactic, typed, or all")
+		lockDoc = flag.String("lockorder-out", "", "write the inferred lock-order doc to this file (implies the typed tier)")
 		list    = flag.Bool("list", false, "list analyzers and exit")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, a := range lint.DefaultAnalyzers() {
-			fmt.Printf("%-16s %s\n", a.Name(), a.Doc())
+			fmt.Printf("%-18s [syntactic] %s\n", a.Name(), a.Doc())
+		}
+		for _, a := range lint.DefaultTypedAnalyzers() {
+			fmt.Printf("%-18s [typed]     %s\n", a.Name(), a.Doc())
 		}
 		return
 	}
 
-	analyzers, err := lint.Select(splitList(*enable), splitList(*disable))
+	analyzers, typed, err := lint.Select(splitList(*enable), splitList(*disable))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	switch *tier {
+	case "all":
+	case "syntactic":
+		typed = nil
+	case "typed":
+		analyzers = []lint.Analyzer{}
+	default:
+		fmt.Fprintf(os.Stderr, "reactlint: unknown tier %q (want syntactic, typed, or all)\n", *tier)
+		os.Exit(2)
+	}
+	if *lockDoc != "" && len(typed) == 0 {
+		typed = lint.DefaultTypedAnalyzers()
 	}
 
 	root := "."
@@ -61,9 +85,32 @@ func main() {
 		os.Exit(2)
 	}
 
-	findings := (&lint.Runner{Analyzers: analyzers}).Run(mod)
+	runner := &lint.Runner{
+		Analyzers: analyzers,
+		Typed:     typed,
+		// Staleness is only judged when every analyzer runs: with part
+		// of the suite disabled, its suppressions would look unused.
+		StaleCheck: *tier == "all" && *enable == "" && *disable == "",
+	}
+	findings := runner.Run(mod)
+
+	if *lockDoc != "" {
+		if runner.TM == nil {
+			fmt.Fprintln(os.Stderr, "reactlint: cannot render lock order: typed tier did not run (type-check failure?)")
+			os.Exit(2)
+		}
+		doc, err := lint.RenderLockOrderDoc(runner.TM)
+		if err == nil {
+			err = os.WriteFile(*lockDoc, []byte(doc), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
 	if *jsonOut {
-		if err := lint.NewReport(mod, findings).WriteJSON(os.Stdout); err != nil {
+		if err := lint.NewReport(mod, *tier, runner, findings).WriteJSON(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}

@@ -37,6 +37,7 @@ func main() {
 	workers := flag.Int("workers", 20, "synthetic crowd size")
 	rate := flag.Float64("rate", 5, "tasks per (uncompressed) second")
 	tasks := flag.Int("tasks", 100, "total tasks to submit")
+	//lint:ignore clocktaint interactive default: a fresh seed per run is the point; pass -seed to reproduce
 	seed := flag.Int64("seed", time.Now().UnixNano(), "behaviour/workload seed")
 	compress := flag.Float64("compress", 100, "time compression factor")
 	chaos := flag.Bool("chaos", false, "self-contained fault-injection run: in-process server behind a chaos proxy, with resets and a mid-run restart")

@@ -182,9 +182,11 @@ type Engine struct {
 	workers *profile.Registry
 	tasks   *TaskStore
 
-	// batchMu serializes the trigger check, the scheduling round, and
-	// assignment application; inFlight is set while a deferred batch waits
-	// for its modelled latency to elapse.
+	// batchMu serializes the trigger check and the scheduling round
+	// (planBatch). inFlight is set from the moment a round is planned
+	// until its assignments are applied — immediately for synchronous
+	// application, after the modelled latency for deferred — so rounds
+	// never overlap even though hooks and application run unlocked.
 	batchMu  sync.Mutex
 	trigger  *schedule.Trigger
 	inFlight bool
@@ -419,54 +421,74 @@ func (e *Engine) TickMonitor() {
 // flight at a time; the deferred apply re-arms the trigger check so a
 // backlog that built up during the charge drains immediately.
 func (e *Engine) TryBatch() {
+	assignments, byID, info, latency, ok := e.planBatch()
+	if !ok {
+		return
+	}
+	// Hooks fire with no engine lock held: a callback is free to call
+	// back into the engine (Complete, Feedback, even TryBatch — the
+	// inFlight gate makes that a no-op) without deadlocking, and a slow
+	// transport in Deliver cannot stall the trigger check. reactlint's
+	// hookreentrancy analyzer enforces this.
+	if e.hooks.OnBatch != nil {
+		e.hooks.OnBatch(info)
+	}
+	if e.cfg.Defer != nil {
+		e.cfg.Defer(latency, e.deferredApply(assignments, byID))
+		return
+	}
+	e.applyAssignments(assignments, byID)
+	e.batchMu.Lock()
+	e.inFlight = false
+	e.batchMu.Unlock()
+}
+
+// planBatch is the locked half of TryBatch: check the trigger, snapshot
+// workers and tasks, and run the matcher, all under batchMu. When a round
+// is produced, inFlight is set before the lock is released so concurrent
+// TryBatch calls stay no-ops until the round is applied.
+func (e *Engine) planBatch() (assignments map[string]string, byID map[string]taskq.Task, info BatchInfo, latency time.Duration, ok bool) {
 	e.batchMu.Lock()
 	defer e.batchMu.Unlock()
 	if e.inFlight {
-		return
+		return nil, nil, BatchInfo{}, 0, false
 	}
 	now := e.cfg.Clock.Now()
 	if !e.trigger.Due(e.tasks.UnassignedCount(), now) {
-		return
+		return nil, nil, BatchInfo{}, 0, false
 	}
 	avail := e.workers.Available()
 	unassigned := e.tasks.Unassigned()
 	if len(avail) == 0 || len(unassigned) == 0 {
-		return
+		return nil, nil, BatchInfo{}, 0, false
 	}
 	batch, err := schedule.Run(e.cfg.Schedule, e.cfg.Matcher, avail, unassigned, now)
 	if err != nil {
-		return // construction bug; skip the round rather than wedge the host
+		return nil, nil, BatchInfo{}, 0, false // construction bug; skip the round rather than wedge the host
 	}
 	e.trigger.Ran(now)
 	e.ctr.batches.Add(1)
 	e.ctr.matcherNs.Add(int64(batch.Elapsed))
-	var latency time.Duration
 	if e.cfg.Latency != nil {
 		latency = e.cfg.Latency(len(unassigned), len(avail), batch.Build.Edges, batch.Match.Cycles)
 	}
-	if e.hooks.OnBatch != nil {
-		e.hooks.OnBatch(BatchInfo{
-			Workers:      len(avail),
-			Tasks:        len(unassigned),
-			Edges:        batch.Build.Edges,
-			PrunedProb:   batch.Build.PrunedProb,
-			PrunedReward: batch.Build.PrunedReward,
-			Cycles:       batch.Match.Cycles,
-			Assignments:  len(batch.Assignments),
-			Elapsed:      batch.Elapsed,
-			Latency:      latency,
-		})
+	info = BatchInfo{
+		Workers:      len(avail),
+		Tasks:        len(unassigned),
+		Edges:        batch.Build.Edges,
+		PrunedProb:   batch.Build.PrunedProb,
+		PrunedReward: batch.Build.PrunedReward,
+		Cycles:       batch.Match.Cycles,
+		Assignments:  len(batch.Assignments),
+		Elapsed:      batch.Elapsed,
+		Latency:      latency,
 	}
-	byID := make(map[string]taskq.Task, len(unassigned))
+	byID = make(map[string]taskq.Task, len(unassigned))
 	for _, t := range unassigned {
 		byID[t.ID] = t
 	}
-	if e.cfg.Defer != nil {
-		e.inFlight = true
-		e.cfg.Defer(latency, e.deferredApply(batch.Assignments, byID))
-		return
-	}
-	e.applyAssignments(batch.Assignments, byID)
+	e.inFlight = true
+	return batch.Assignments, byID, info, latency, true
 }
 
 // deferredApply builds the callback that lands a postponed batch: apply,
@@ -474,17 +496,20 @@ func (e *Engine) TryBatch() {
 // accumulated while the modelled matcher ran.
 func (e *Engine) deferredApply(assignments map[string]string, byID map[string]taskq.Task) func(time.Time) {
 	return func(time.Time) {
-		e.batchMu.Lock()
 		e.applyAssignments(assignments, byID)
+		e.batchMu.Lock()
 		e.inFlight = false
 		e.batchMu.Unlock()
 		e.TryBatch()
 	}
 }
 
-// applyAssignments binds matcher output to live state. Called with batchMu
-// held. Sorted order keeps downstream consumers (the harness's exec-time
-// RNG stream) deterministic; map iteration order would not be.
+// applyAssignments binds matcher output to live state. Runs with no
+// engine lock held — the inFlight gate serializes rounds, and the task
+// and worker stores carry their own locks — so the Deliver and OnAssign
+// hooks may re-enter the engine freely. Sorted order keeps downstream
+// consumers (the harness's exec-time RNG stream) deterministic; map
+// iteration order would not be.
 func (e *Engine) applyAssignments(assignments map[string]string, byID map[string]taskq.Task) {
 	taskIDs := make([]string, 0, len(assignments))
 	for taskID := range assignments {

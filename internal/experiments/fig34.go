@@ -61,7 +61,7 @@ func RunMatchBench(cfg MatchBenchConfig) []MatchPoint {
 	for _, tasks := range cfg.TaskCounts {
 		g := fullUniformGraph(cfg.Workers, tasks, cfg.Seed)
 		run := func(name string, cycles int, m matching.Matcher) {
-			//lint:ignore clockdiscipline Figs. 3/4 measure the matchers' real Go wall time; a virtual clock here would defeat the experiment
+			//lint:ignore clockdiscipline,clocktaint Figs. 3/4 measure the matchers' real Go wall time; a virtual clock here would defeat the experiment
 			start := time.Now()
 			match, _ := m.Match(g)
 			out = append(out, MatchPoint{
@@ -70,7 +70,7 @@ func RunMatchBench(cfg MatchBenchConfig) []MatchPoint {
 				Workers:   cfg.Workers,
 				Tasks:     tasks,
 				Edges:     g.NumEdges(),
-				//lint:ignore clockdiscipline see above: real wall time by design
+				//lint:ignore clockdiscipline,clocktaint see above: real wall time by design
 				Elapsed: time.Since(start),
 				Weight:  match.Weight(),
 				Matched: match.Size(),

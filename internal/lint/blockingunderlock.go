@@ -1,0 +1,44 @@
+package lint
+
+// BlockingUnderLock reports operations that can block indefinitely —
+// channel sends/receives, selects without a default, network and stream
+// I/O, time.Sleep / clock.Sleep, WaitGroup.Wait — at sites where the
+// lock-state dataflow says a mutex may be held. A blocked holder stalls
+// every other goroutine contending for the lock; in the live server
+// that turns one slow client connection into a module-wide pause.
+//
+// Exemptions are built into the fact collection: sync.Cond.Wait
+// releases its mutex while parked, a select with a default clause never
+// blocks, and the communication clauses of a select are judged as part
+// of the select, not as standalone channel ops.
+type BlockingUnderLock struct{}
+
+// NewBlockingUnderLock returns the analyzer.
+func NewBlockingUnderLock() BlockingUnderLock { return BlockingUnderLock{} }
+
+func (BlockingUnderLock) Name() string { return "blockingunderlock" }
+func (BlockingUnderLock) Doc() string {
+	return "flag channel ops, I/O, and sleeps that may execute while a mutex is held"
+}
+
+func (BlockingUnderLock) RunTyped(p *TypedPass) {
+	lf, err := p.TM.lockFactsFor()
+	if err != nil {
+		return
+	}
+	for _, n := range lf.graph.nodes {
+		ff := lf.perFunc[n]
+		if ff == nil {
+			continue
+		}
+		for _, bf := range ff.blocks {
+			held := lf.finalHeld(n, bf.localHeld)
+			if len(held) == 0 {
+				continue
+			}
+			p.Reportf("blockingunderlock", bf.pos,
+				"blocking operation (%s) in %s while holding %s",
+				bf.desc, n.name, lf.heldDescription(n, held, bf.localHeld))
+		}
+	}
+}

@@ -16,9 +16,9 @@ var updateGolden = flag.Bool("update", false, "rewrite the JSON golden file")
 //
 //	go test ./internal/lint -run JSONGolden -update
 func TestJSONGolden(t *testing.T) {
-	mod, findings := loadFixtureForGolden(t)
+	mod, runner, findings := loadFixtureForGolden(t)
 	var buf bytes.Buffer
-	if err := lint.NewReport(mod, findings).WriteJSON(&buf); err != nil {
+	if err := lint.NewReport(mod, "all", runner, findings).WriteJSON(&buf); err != nil {
 		t.Fatalf("WriteJSON: %v", err)
 	}
 
@@ -40,9 +40,9 @@ func TestJSONGolden(t *testing.T) {
 // TestJSONEmptyFindings ensures a clean run marshals findings as an
 // empty array, never null — consumers index into it unconditionally.
 func TestJSONEmptyFindings(t *testing.T) {
-	mod, _ := loadFixtureForGolden(t)
+	mod, runner, _ := loadFixtureForGolden(t)
 	var buf bytes.Buffer
-	if err := lint.NewReport(mod, nil).WriteJSON(&buf); err != nil {
+	if err := lint.NewReport(mod, "all", runner, nil).WriteJSON(&buf); err != nil {
 		t.Fatalf("WriteJSON: %v", err)
 	}
 	if !bytes.Contains(buf.Bytes(), []byte(`"findings": []`)) {
@@ -53,11 +53,14 @@ func TestJSONEmptyFindings(t *testing.T) {
 	}
 }
 
-func loadFixtureForGolden(t *testing.T) (*lint.Module, []lint.Finding) {
+func loadFixtureForGolden(t *testing.T) (*lint.Module, *lint.Runner, []lint.Finding) {
 	t.Helper()
 	mod, err := lint.LoadModule("testdata/module")
 	if err != nil {
 		t.Fatalf("LoadModule: %v", err)
 	}
-	return mod, (&lint.Runner{}).Run(mod)
+	// The golden run exercises the full default CLI configuration: both
+	// tiers plus stale-suppression detection.
+	runner := &lint.Runner{Typed: lint.DefaultTypedAnalyzers(), StaleCheck: true}
+	return mod, runner, runner.Run(mod)
 }

@@ -1,0 +1,100 @@
+package lint
+
+import "go/types"
+
+// HookReentrancy proves that hook callbacks — code the engine does not
+// own — are never invoked while a module mutex may be held. A hook that
+// runs under engine.Engine.batchMu can call back into the engine (core's
+// Deliver does) and deadlock, or simply hold the scheduler hostage for
+// the duration of arbitrary user code. The check is interprocedural: a
+// helper that fires a hook inherits its callers' held sets through the
+// lock-state entry solution.
+//
+// Hook call sites are recognized three ways:
+//   - a call through a func-typed field of a configured struct type
+//     (engine.Hooks.Deliver and friends);
+//   - a call to a configured (interface) method (metrics collector
+//     callbacks like Exposer.ExposeMetric);
+//   - a call through a configured named func type (metrics.GaugeFunc).
+type HookReentrancy struct {
+	// FieldStructs names struct types (as "pkgbase.Type") whose func
+	// fields are all hooks.
+	FieldStructs []string
+	// Methods names methods (as "pkgbase.Type.Method") that are hook
+	// invocations, matched against the static callee.
+	Methods []string
+	// FuncTypes names named function types (as "pkgbase.Type") whose
+	// invocation is a hook call.
+	FuncTypes []string
+}
+
+// NewHookReentrancy returns the analyzer configured for REACT's hook
+// surfaces. The type-name matching uses package base names, so fixture
+// modules that mirror the layout (internal/engine, internal/metrics)
+// exercise the same configuration.
+func NewHookReentrancy() *HookReentrancy {
+	return &HookReentrancy{
+		FieldStructs: []string{"engine.Hooks"},
+		Methods:      []string{"metrics.Exposer.ExposeMetric"},
+		FuncTypes:    []string{"metrics.GaugeFunc"},
+	}
+}
+
+func (*HookReentrancy) Name() string { return "hookreentrancy" }
+func (*HookReentrancy) Doc() string {
+	return "prove engine.Hooks and metrics collector callbacks never fire with a mutex held"
+}
+
+func (h *HookReentrancy) RunTyped(p *TypedPass) {
+	lf, err := p.TM.lockFactsFor()
+	if err != nil {
+		return
+	}
+	fieldStructs := toSet(h.FieldStructs)
+	methods := toSet(h.Methods)
+	funcTypes := toSet(h.FuncTypes)
+
+	for _, n := range lf.graph.nodes {
+		ff := lf.perFunc[n]
+		if ff == nil {
+			continue
+		}
+		for _, cf := range ff.calls {
+			label := ""
+			switch {
+			case cf.fieldOwner != nil && fieldStructs[typeKey(cf.fieldOwner)]:
+				label = typeKey(cf.fieldOwner) + "." + cf.field.Name()
+			case cf.fn != nil && methods[methodKey(cf.fn)]:
+				label = methodKey(cf.fn)
+			case cf.funType != nil && funcTypes[typeKey(cf.funType)]:
+				label = typeKey(cf.funType)
+			default:
+				continue
+			}
+			held := lf.finalHeld(n, cf.localHeld)
+			if len(held) == 0 {
+				continue
+			}
+			p.Reportf("hookreentrancy", cf.pos,
+				"hook %s invoked in %s with lock(s) held: %s",
+				label, n.name, lf.heldDescription(n, held, cf.localHeld))
+		}
+	}
+}
+
+func toSet(names []string) map[string]bool {
+	out := make(map[string]bool, len(names))
+	for _, n := range names {
+		out[n] = true
+	}
+	return out
+}
+
+// methodKey renders a method callee as "pkgbase.Recv.Name".
+func methodKey(fn *types.Func) string {
+	recv := receiverTypeName(fn)
+	if recv == "" || fn.Pkg() == nil {
+		return ""
+	}
+	return pathBase(fn.Pkg().Path()) + "." + recv + "." + fn.Name()
+}

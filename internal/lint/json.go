@@ -7,19 +7,37 @@ import (
 
 // Report is the machine-readable result of a run — the schema behind
 // reactlint -json. Count is redundant with len(Findings) but makes the
-// common "how many" query a one-field read for CI tooling.
+// common "how many" query a one-field read for CI tooling. Tier and
+// Analyzers record what actually ran, so an archived CI artifact is
+// self-describing.
 type Report struct {
-	Module   string    `json:"module"`
-	Count    int       `json:"count"`
-	Findings []Finding `json:"findings"`
+	Module    string    `json:"module"`
+	Tier      string    `json:"tier"` // "syntactic", "typed", or "all"
+	Analyzers []string  `json:"analyzers"`
+	Count     int       `json:"count"`
+	Findings  []Finding `json:"findings"`
 }
 
 // NewReport assembles the JSON report for a finished run.
-func NewReport(mod *Module, findings []Finding) Report {
+func NewReport(mod *Module, tier string, r *Runner, findings []Finding) Report {
 	if findings == nil {
 		findings = []Finding{} // marshal as [], never null
 	}
-	return Report{Module: mod.Path, Count: len(findings), Findings: findings}
+	names := []string{}
+	syntactic := r.Analyzers
+	if syntactic == nil {
+		syntactic = DefaultAnalyzers()
+	}
+	for _, a := range syntactic {
+		names = append(names, a.Name())
+	}
+	for _, a := range r.Typed {
+		names = append(names, a.Name())
+	}
+	return Report{
+		Module: mod.Path, Tier: tier, Analyzers: names,
+		Count: len(findings), Findings: findings,
+	}
 }
 
 // WriteJSON emits the report, indented, with a trailing newline.

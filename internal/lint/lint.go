@@ -82,9 +82,56 @@ func (p *Pass) Reportf(name string, pos token.Pos, format string, args ...any) {
 	})
 }
 
+// TypedAnalyzer is a check in the typed tier: it sees the whole module
+// at once — type information, control-flow graphs, the call graph, and
+// the interprocedural lock-state solution — instead of one package's
+// syntax.
+type TypedAnalyzer interface {
+	Name() string
+	Doc() string
+	RunTyped(p *TypedPass)
+}
+
+// TypedPass carries the typed view of the module to a TypedAnalyzer.
+type TypedPass struct {
+	TM *TypedModule
+
+	// sup is the module's suppression set. Analyzers may consult it to
+	// treat a suppressed source as sanctioned (clocktaint: a sanctioned
+	// wall-clock read does not taint its downstream flows); doing so
+	// marks the directive used, so it is not reported stale.
+	sup *suppressionSet
+
+	findings []Finding
+}
+
+// Reportf records a finding at pos. Typed analyzers run sequentially
+// (they share lazily computed module-wide facts), so no lock is needed.
+func (p *TypedPass) Reportf(name string, pos token.Pos, format string, args ...any) {
+	file, line, col := p.TM.relPosOf(pos)
+	p.findings = append(p.findings, Finding{
+		File:     file,
+		Line:     line,
+		Col:      col,
+		Analyzer: name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
 // Runner loads a module and applies a set of analyzers to it.
 type Runner struct {
 	Analyzers []Analyzer
+	Typed     []TypedAnalyzer
+
+	// StaleCheck reports //lint:ignore directives that no longer match
+	// any diagnostic. Only meaningful when the full suite runs: with
+	// analyzers filtered out, their suppressions would look stale.
+	StaleCheck bool
+
+	// TM is the typed module view, filled in by Run when the typed tier
+	// executes (callers may read it afterwards, e.g. to render
+	// docs/LOCKORDER.md without type-checking twice).
+	TM *TypedModule
 }
 
 // DefaultAnalyzers returns the full REACT suite in its canonical order.
@@ -99,21 +146,52 @@ func DefaultAnalyzers() []Analyzer {
 	}
 }
 
-// Select filters names against the full suite: enable keeps only the
-// named analyzers (empty means all), disable then removes names. An
-// unknown name is an error so typos fail loudly.
-func Select(enable, disable []string) ([]Analyzer, error) {
-	all := DefaultAnalyzers()
-	known := make(map[string]Analyzer, len(all))
-	for _, a := range all {
-		known[a.Name()] = a
+// DefaultTypedAnalyzers returns the typed tier in its canonical order.
+func DefaultTypedAnalyzers() []TypedAnalyzer {
+	return []TypedAnalyzer{
+		NewLockOrder(),
+		NewHookReentrancy(),
+		NewBlockingUnderLock(),
+		NewClockTaint(),
+	}
+}
+
+// Catalog is the set of every analyzer name across both tiers plus the
+// pseudo-analyzers the driver itself emits ("lint" for malformed
+// suppressions, "staleignore" for stale ones). Suppression directives
+// are validated against it.
+func Catalog() map[string]bool {
+	names := map[string]bool{"lint": true, "staleignore": true}
+	for _, a := range DefaultAnalyzers() {
+		names[a.Name()] = true
+	}
+	for _, a := range DefaultTypedAnalyzers() {
+		names[a.Name()] = true
+	}
+	return names
+}
+
+// Select filters names against the full catalog (both tiers): enable
+// keeps only the named analyzers (empty means all), disable then
+// removes names. An unknown name is an error so typos fail loudly. The
+// syntactic and typed selections come back separately because the
+// runner executes them differently.
+func Select(enable, disable []string) ([]Analyzer, []TypedAnalyzer, error) {
+	syntactic := DefaultAnalyzers()
+	typed := DefaultTypedAnalyzers()
+	known := make(map[string]bool, len(syntactic)+len(typed))
+	for _, a := range syntactic {
+		known[a.Name()] = true
+	}
+	for _, a := range typed {
+		known[a.Name()] = true
 	}
 	for _, n := range append(append([]string{}, enable...), disable...) {
-		if _, ok := known[n]; !ok {
-			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		if !known[n] {
+			return nil, nil, fmt.Errorf("lint: unknown analyzer %q", n)
 		}
 	}
-	keep := make(map[string]bool, len(all))
+	keep := make(map[string]bool, len(known))
 	if len(enable) == 0 {
 		for n := range known {
 			keep[n] = true
@@ -125,23 +203,37 @@ func Select(enable, disable []string) ([]Analyzer, error) {
 	for _, n := range disable {
 		keep[n] = false
 	}
-	var out []Analyzer
-	for _, a := range all {
+	var outS []Analyzer
+	for _, a := range syntactic {
 		if keep[a.Name()] {
-			out = append(out, a)
+			outS = append(outS, a)
 		}
 	}
-	return out, nil
+	var outT []TypedAnalyzer
+	for _, a := range typed {
+		if keep[a.Name()] {
+			outT = append(outT, a)
+		}
+	}
+	return outS, outT, nil
 }
 
-// Run analyzes every package, applies suppressions, and returns the
-// surviving findings sorted by position. Malformed suppression comments
-// are reported as findings of the pseudo-analyzer "lint".
+// Run analyzes every package with the syntactic tier, the whole module
+// with the typed tier, applies suppressions module-wide, and returns
+// the surviving findings sorted by position. Malformed suppression
+// comments are reported as findings of the pseudo-analyzer "lint";
+// stale ones (when StaleCheck is set) as "staleignore". A module that
+// fails to type-check yields a single "lint" finding and skips the
+// typed tier rather than reasoning from partial types.
 func (r *Runner) Run(mod *Module) []Finding {
 	analyzers := r.Analyzers
 	if analyzers == nil {
 		analyzers = DefaultAnalyzers()
 	}
+	// Parsed up front: the typed tier consults directives while running
+	// (sanctioned taint sources), and the same set then filters findings
+	// so every use counts toward staleness.
+	sup := suppressionsForModule(mod)
 
 	var (
 		wg  sync.WaitGroup
@@ -156,20 +248,44 @@ func (r *Runner) Run(mod *Module) []Finding {
 			for _, a := range analyzers {
 				a.Run(pass)
 			}
-			sup := suppressionsFor(pkg)
-			kept := pass.findings[:0]
-			for _, f := range pass.findings {
-				if !sup.covers(f) {
-					kept = append(kept, f)
-				}
-			}
-			kept = append(kept, sup.malformed...)
 			mu.Lock()
-			out = append(out, kept...)
+			out = append(out, pass.findings...)
 			mu.Unlock()
 		}(pkg)
 	}
 	wg.Wait()
+
+	if len(r.Typed) > 0 {
+		tm, err := TypeCheck(mod)
+		if err != nil {
+			out = append(out, Finding{
+				File:     "go.mod",
+				Line:     1,
+				Col:      1,
+				Analyzer: "lint",
+				Message:  fmt.Sprintf("typed tier skipped: %v", err),
+			})
+		} else {
+			r.TM = tm
+			tpass := &TypedPass{TM: tm, sup: sup}
+			for _, a := range r.Typed {
+				a.RunTyped(tpass)
+			}
+			out = append(out, tpass.findings...)
+		}
+	}
+
+	kept := out[:0]
+	for _, f := range out {
+		if !sup.covers(f) {
+			kept = append(kept, f)
+		}
+	}
+	kept = append(kept, sup.malformed...)
+	if r.StaleCheck {
+		kept = append(kept, sup.stale(Catalog())...)
+	}
+	out = kept
 
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]

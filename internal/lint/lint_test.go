@@ -116,7 +116,7 @@ func TestDeterministicOutput(t *testing.T) {
 func TestSelect(t *testing.T) {
 	mod, _ := loadFixture(t)
 
-	only, err := lint.Select([]string{"seededrand"}, nil)
+	only, _, err := lint.Select([]string{"seededrand"}, nil)
 	if err != nil {
 		t.Fatalf("Select(enable): %v", err)
 	}
@@ -132,7 +132,7 @@ func TestSelect(t *testing.T) {
 		t.Errorf("seededrand findings = %d, want 4", n)
 	}
 
-	most, err := lint.Select(nil, []string{"errdrop", "printfdebug"})
+	most, _, err := lint.Select(nil, []string{"errdrop", "printfdebug"})
 	if err != nil {
 		t.Fatalf("Select(disable): %v", err)
 	}
@@ -144,8 +144,17 @@ func TestSelect(t *testing.T) {
 		t.Errorf("non-disabled analyzer went silent")
 	}
 
-	if _, err := lint.Select([]string{"nosuch"}, nil); err == nil {
+	if _, _, err := lint.Select([]string{"nosuch"}, nil); err == nil {
 		t.Errorf("Select accepted unknown analyzer name")
+	}
+
+	// Typed names select into the typed tier.
+	syn, typ, err := lint.Select([]string{"lockorder"}, nil)
+	if err != nil {
+		t.Fatalf("Select(lockorder): %v", err)
+	}
+	if len(syn) != 0 || len(typ) != 1 || typ[0].Name() != "lockorder" {
+		t.Errorf("Select(lockorder) = %d syntactic, %v typed", len(syn), typ)
 	}
 }
 

@@ -1,0 +1,366 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// LockOrder derives the module's lock-acquisition graph from the
+// interprocedural lock-state solution: an edge A → B means some path
+// acquires B while A may be held. Cycles in that graph are potential
+// deadlocks (two goroutines taking the same pair of locks in opposite
+// orders); acquiring a class already held is a self-deadlock. The
+// acyclic graph doubles as documentation — RenderLockOrderDoc emits the
+// inferred global order into docs/LOCKORDER.md.
+type LockOrder struct{}
+
+// NewLockOrder returns the analyzer. The constructor shape matches the
+// configurable typed analyzers so DefaultTypedAnalyzers reads uniformly.
+func NewLockOrder() LockOrder { return LockOrder{} }
+
+func (LockOrder) Name() string { return "lockorder" }
+func (LockOrder) Doc() string {
+	return "derive the lock-acquisition graph; report cycles and self-deadlocks"
+}
+
+// lockEdge is one observed A-held-while-acquiring-B ordering, with one
+// example site kept per (from,to) pair.
+type lockEdge struct {
+	from, to  int
+	pos       token.Pos // acquisition site of `to`
+	node      *cgNode
+	fromLocal bool // from-lock acquired in the same function
+}
+
+func (LockOrder) RunTyped(p *TypedPass) {
+	lf, err := p.TM.lockFactsFor()
+	if err != nil {
+		return // the runner already reported the type-check failure
+	}
+	edges, selfs := lockOrderEdges(lf)
+	for _, s := range selfs {
+		held := []int{s.from}
+		p.Reportf("lockorder", s.pos,
+			"lock %s acquired while already held in %s (self-deadlock): held via %s",
+			lf.classes[s.to].key, s.node.name,
+			lf.heldDescription(s.node, held, localOnly(s, held)))
+	}
+	for _, cyc := range lockCycles(lf, edges) {
+		p.Reportf("lockorder", cyc.pos,
+			"lock-order cycle (potential deadlock): %s; break the cycle or document the intentional order here",
+			cyc.describe(lf))
+	}
+}
+
+func localOnly(e lockEdge, held []int) []int {
+	if e.fromLocal {
+		return held
+	}
+	return nil
+}
+
+// lockOrderEdges walks every acquisition fact and materializes ordering
+// edges (deduplicated, first example site wins — fact iteration order is
+// deterministic). Self-edges come back separately: they are findings in
+// their own right, not ordering information.
+func lockOrderEdges(lf *lockFacts) (edges []lockEdge, selfs []lockEdge) {
+	seen := make(map[[2]int]bool)
+	for _, n := range lf.graph.nodes {
+		ff := lf.perFunc[n]
+		if ff == nil {
+			continue
+		}
+		for _, ac := range ff.acquires {
+			local := make(map[int]bool, len(ac.localHeld))
+			for _, id := range ac.localHeld {
+				local[id] = true
+			}
+			held := lf.finalHeld(n, ac.localHeld)
+			for _, h := range held {
+				e := lockEdge{from: h, to: ac.class.id, pos: ac.pos, node: n, fromLocal: local[h]}
+				if h == ac.class.id {
+					selfs = append(selfs, e)
+					continue
+				}
+				key := [2]int{h, ac.class.id}
+				if !seen[key] {
+					seen[key] = true
+					edges = append(edges, e)
+				}
+			}
+		}
+	}
+	return edges, selfs
+}
+
+// lockCycle is one strongly connected component of the ordering graph
+// with more than one lock class.
+type lockCycle struct {
+	classes []int // sorted by key
+	edges   []lockEdge
+	pos     token.Pos // anchor: first in-cycle edge site in file order
+}
+
+func (c lockCycle) describe(lf *lockFacts) string {
+	names := make([]string, len(c.classes))
+	for i, id := range c.classes {
+		names[i] = lf.classes[id].key
+	}
+	sites := make([]string, 0, len(c.edges))
+	for _, e := range c.edges {
+		file, line, _ := lf.tm.relPosOf(e.pos)
+		sites = append(sites, fmt.Sprintf("%s→%s at %s:%d",
+			lf.classes[e.from].key, lf.classes[e.to].key, file, line))
+	}
+	return strings.Join(names, " ⇄ ") + " (" + strings.Join(sites, "; ") + ")"
+}
+
+// lockCycles finds non-trivial SCCs (Tarjan) in the edge set and
+// anchors each at its lexicographically first edge site, so the finding
+// position — and therefore its suppression point — is stable.
+func lockCycles(lf *lockFacts, edges []lockEdge) []lockCycle {
+	adj := make(map[int][]int)
+	nodes := make(map[int]bool)
+	for _, e := range edges {
+		adj[e.from] = append(adj[e.from], e.to)
+		nodes[e.from] = true
+		nodes[e.to] = true
+	}
+	var order []int
+	for id := range nodes {
+		order = append(order, id)
+	}
+	sort.Ints(order)
+
+	index := make(map[int]int)
+	low := make(map[int]int)
+	onStack := make(map[int]bool)
+	var stack []int
+	var sccs [][]int
+	next := 0
+	var strongconnect func(v int)
+	strongconnect = func(v int) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, ok := index[w]; !ok {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []int
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			if len(scc) > 1 {
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	for _, v := range order {
+		if _, ok := index[v]; !ok {
+			strongconnect(v)
+		}
+	}
+
+	var out []lockCycle
+	for _, scc := range sccs {
+		in := make(map[int]bool, len(scc))
+		for _, id := range scc {
+			in[id] = true
+		}
+		sort.Slice(scc, func(i, j int) bool {
+			return lf.classes[scc[i]].key < lf.classes[scc[j]].key
+		})
+		cyc := lockCycle{classes: scc}
+		for _, e := range edges {
+			if in[e.from] && in[e.to] {
+				cyc.edges = append(cyc.edges, e)
+			}
+		}
+		sort.Slice(cyc.edges, func(i, j int) bool {
+			return posLess(lf, cyc.edges[i].pos, cyc.edges[j].pos)
+		})
+		cyc.pos = cyc.edges[0].pos
+		out = append(out, cyc)
+	}
+	sort.Slice(out, func(i, j int) bool { return posLess(lf, out[i].pos, out[j].pos) })
+	return out
+}
+
+func posLess(lf *lockFacts, a, b token.Pos) bool {
+	pa, pb := lf.tm.Fset.Position(a), lf.tm.Fset.Position(b)
+	if pa.Filename != pb.Filename {
+		return pa.Filename < pb.Filename
+	}
+	return pa.Offset < pb.Offset
+}
+
+// RenderLockOrderDoc renders the inferred lock-acquisition order as the
+// markdown checked in at docs/LOCKORDER.md. CI regenerates it and fails
+// on drift, so the document cannot rot. Function-local lock classes are
+// omitted: the convention is about module-level locks.
+func RenderLockOrderDoc(tm *TypedModule) (string, error) {
+	lf, err := tm.lockFactsFor()
+	if err != nil {
+		return "", err
+	}
+	edges, _ := lockOrderEdges(lf)
+
+	moduleClass := func(id int) bool {
+		return !strings.HasPrefix(lf.classes[id].key, "local:")
+	}
+	classSet := make(map[int]bool)
+	for _, n := range lf.graph.nodes {
+		ff := lf.perFunc[n]
+		if ff == nil {
+			continue
+		}
+		for _, ac := range ff.acquires {
+			if moduleClass(ac.class.id) {
+				classSet[ac.class.id] = true
+			}
+		}
+	}
+	var docEdges []lockEdge
+	for _, e := range edges {
+		if moduleClass(e.from) && moduleClass(e.to) {
+			docEdges = append(docEdges, e)
+		}
+	}
+
+	// Kahn topological order over the module classes, deterministic by
+	// class key; cyclic leftovers are listed separately.
+	indeg := make(map[int]int)
+	succ := make(map[int][]int)
+	for id := range classSet {
+		indeg[id] = 0
+	}
+	for _, e := range docEdges {
+		succ[e.from] = append(succ[e.from], e.to)
+		indeg[e.to]++
+	}
+	byKey := func(ids []int) {
+		sort.Slice(ids, func(i, j int) bool { return lf.classes[ids[i]].key < lf.classes[ids[j]].key })
+	}
+	var ready []int
+	for id, d := range indeg {
+		if d == 0 {
+			ready = append(ready, id)
+		}
+	}
+	byKey(ready)
+	var topo []int
+	for len(ready) > 0 {
+		id := ready[0]
+		ready = ready[1:]
+		topo = append(topo, id)
+		var newly []int
+		for _, s := range succ[id] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				newly = append(newly, s)
+			}
+		}
+		byKey(newly)
+		ready = append(ready, newly...)
+		byKey(ready)
+	}
+	var cyclic []int
+	for id, d := range indeg {
+		if d > 0 {
+			cyclic = append(cyclic, id)
+		}
+	}
+	byKey(cyclic)
+
+	ordered := make(map[int]bool)
+	for _, e := range docEdges {
+		ordered[e.from] = true
+		ordered[e.to] = true
+	}
+
+	var b strings.Builder
+	b.WriteString("# Lock ordering\n\n")
+	b.WriteString("<!-- Generated by `reactlint`; do not edit. Regenerate with `make lockorder`. -->\n\n")
+	b.WriteString("The lockorder analyzer derives this acquisition graph from the\n")
+	b.WriteString("interprocedural lock-state dataflow: an edge `A → B` means some code\n")
+	b.WriteString("path acquires `B` while `A` may be held. New code must acquire locks\n")
+	b.WriteString("consistently with the order below; a cycle is a potential deadlock and\n")
+	b.WriteString("fails `make lint`.\n\n")
+
+	b.WriteString("## Acquisition order\n\n")
+	rank := 0
+	for _, id := range topo {
+		if !ordered[id] {
+			continue
+		}
+		rank++
+		fmt.Fprintf(&b, "%d. `%s`\n", rank, lf.classes[id].key)
+	}
+	if rank == 0 {
+		b.WriteString("(no nested acquisitions observed)\n")
+	}
+	b.WriteString("\n## Observed edges\n\n")
+	if len(docEdges) == 0 {
+		b.WriteString("(none)\n")
+	} else {
+		b.WriteString("| held | then acquired | example site |\n")
+		b.WriteString("|------|---------------|--------------|\n")
+		sort.Slice(docEdges, func(i, j int) bool {
+			a, c := docEdges[i], docEdges[j]
+			if lf.classes[a.from].key != lf.classes[c.from].key {
+				return lf.classes[a.from].key < lf.classes[c.from].key
+			}
+			return lf.classes[a.to].key < lf.classes[c.to].key
+		})
+		for _, e := range docEdges {
+			file, line, _ := lf.tm.relPosOf(e.pos)
+			fmt.Fprintf(&b, "| `%s` | `%s` | `%s:%d` in `%s` |\n",
+				lf.classes[e.from].key, lf.classes[e.to].key, file, line, e.node.name)
+		}
+	}
+
+	b.WriteString("\n## Leaf locks (never held across another acquisition)\n\n")
+	var leaves []int
+	for id := range classSet {
+		if !ordered[id] {
+			leaves = append(leaves, id)
+		}
+	}
+	byKey(leaves)
+	if len(leaves) == 0 {
+		b.WriteString("(none)\n")
+	} else {
+		for _, id := range leaves {
+			fmt.Fprintf(&b, "- `%s`\n", lf.classes[id].key)
+		}
+	}
+
+	b.WriteString("\n## Cycles\n\n")
+	cycles := lockCycles(lf, docEdges)
+	if len(cycles) == 0 {
+		b.WriteString("None — the module lock graph is acyclic.\n")
+	} else {
+		for _, c := range cycles {
+			fmt.Fprintf(&b, "- %s\n", c.describe(lf))
+		}
+	}
+	return b.String(), nil
+}

@@ -1,43 +1,107 @@
 package lint
 
-import "strings"
+import (
+	"sort"
+	"strings"
+)
 
 // ignoreDirective is the comment prefix that suppresses a finding:
 //
-//	//lint:ignore <analyzer> <reason>
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
 //
 // The directive covers findings on its own line (trailing comment) and
 // on the line immediately below (comment-above style). <analyzer> may
-// be "*" to suppress every analyzer on that line. The reason is
+// be "*" to suppress every analyzer on that line, or a comma-separated
+// list when one site trips several analyzers (a wall-clock read that is
+// both a clockdiscipline and a clocktaint finding). The reason is
 // mandatory so every suppression documents why the invariant is safe to
 // break there — a bare directive is reported as a "lint" finding.
 const ignoreDirective = "lint:ignore"
 
+// directive is one parsed //lint:ignore comment, tracked individually
+// so the runner can report suppressions that no longer match any
+// diagnostic (staleness: satellite of the typed tier).
+type directive struct {
+	file      string
+	line, col int
+	names     []string
+	used      map[string]bool // name -> matched at least one finding
+}
+
 type suppressionSet struct {
-	byFileLine map[string]map[int][]string // file → line → analyzers
+	byFileLine map[string]map[int][]*directive // file -> line -> directives
+	directives []*directive
 	malformed  []Finding
 }
 
 // covers reports whether the finding is silenced by a directive on its
-// line or the line above.
-func (s suppressionSet) covers(f Finding) bool {
+// line or the line above, marking every matching directive name as used
+// so redundant suppressions still show up as stale.
+func (s *suppressionSet) covers(f Finding) bool {
 	lines := s.byFileLine[f.File]
 	if lines == nil {
 		return false
 	}
+	hit := false
 	for _, line := range []int{f.Line, f.Line - 1} {
-		for _, name := range lines[line] {
-			if name == "*" || name == f.Analyzer {
-				return true
+		for _, d := range lines[line] {
+			for _, name := range d.names {
+				if name == "*" || name == f.Analyzer {
+					d.used[name] = true
+					hit = true
+				}
 			}
 		}
 	}
-	return false
+	return hit
 }
 
-// suppressionsFor parses every comment in the package once.
-func suppressionsFor(pkg *Package) suppressionSet {
-	set := suppressionSet{byFileLine: make(map[string]map[int][]string)}
+// stale reports directives (or individual names within one) that
+// suppressed nothing, plus names that don't exist in the catalog at
+// all. Only meaningful after covers() has seen every raw finding from a
+// full-suite run.
+func (s *suppressionSet) stale(catalog map[string]bool) []Finding {
+	var out []Finding
+	for _, d := range s.directives {
+		for _, name := range d.names {
+			switch {
+			case name != "*" && !catalog[name]:
+				out = append(out, Finding{
+					File: d.file, Line: d.line, Col: d.col, Analyzer: "staleignore",
+					Message: "suppression names unknown analyzer " + quote(name),
+				})
+			case !d.used[name]:
+				out = append(out, Finding{
+					File: d.file, Line: d.line, Col: d.col, Analyzer: "staleignore",
+					Message: "stale suppression: no " + quote(name) + " diagnostic here any more; delete it",
+				})
+			}
+		}
+	}
+	return out
+}
+
+func quote(s string) string { return "\"" + s + "\"" }
+
+// suppressionsForModule parses every comment in every package once and
+// merges the result into one module-wide set: typed-tier findings cross
+// package boundaries, so suppression filtering has to be global.
+func suppressionsForModule(mod *Module) *suppressionSet {
+	set := &suppressionSet{byFileLine: make(map[string]map[int][]*directive)}
+	for _, pkg := range mod.Packages {
+		set.addPackage(pkg)
+	}
+	sort.Slice(set.directives, func(i, j int) bool {
+		a, b := set.directives[i], set.directives[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		return a.line < b.line
+	})
+	return set
+}
+
+func (s *suppressionSet) addPackage(pkg *Package) {
 	for _, f := range pkg.Files {
 		for _, group := range f.AST.Comments {
 			for _, c := range group.List {
@@ -47,27 +111,48 @@ func suppressionsFor(pkg *Package) suppressionSet {
 				}
 				pos := pkg.Fset.Position(c.Pos())
 				file := pkg.relFile(pos.Filename)
-				name, reason, _ := strings.Cut(strings.TrimSpace(text), " ")
-				if name == "" || strings.TrimSpace(reason) == "" {
-					set.malformed = append(set.malformed, Finding{
+				nameList, reason, _ := strings.Cut(strings.TrimSpace(text), " ")
+				names := splitNames(nameList)
+				if len(names) == 0 || strings.TrimSpace(reason) == "" {
+					s.malformed = append(s.malformed, Finding{
 						File:     file,
 						Line:     pos.Line,
 						Col:      pos.Column,
 						Analyzer: "lint",
-						Message:  "malformed suppression: want //lint:ignore <analyzer> <reason>",
+						Message:  "malformed suppression: want //lint:ignore <analyzer>[,<analyzer>] <reason>",
 					})
 					continue
 				}
-				lines := set.byFileLine[file]
-				if lines == nil {
-					lines = make(map[int][]string)
-					set.byFileLine[file] = lines
+				d := &directive{
+					file: file, line: pos.Line, col: pos.Column,
+					names: names, used: make(map[string]bool),
 				}
-				lines[pos.Line] = append(lines[pos.Line], name)
+				s.directives = append(s.directives, d)
+				lines := s.byFileLine[file]
+				if lines == nil {
+					lines = make(map[int][]*directive)
+					s.byFileLine[file] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], d)
 			}
 		}
 	}
-	return set
+}
+
+// splitNames parses the comma-separated analyzer list; an empty element
+// (trailing comma, "a,,b") poisons the whole directive so typos fail
+// loudly rather than half-suppressing.
+func splitNames(list string) []string {
+	if list == "" {
+		return nil
+	}
+	parts := strings.Split(list, ",")
+	for _, p := range parts {
+		if p == "" {
+			return nil
+		}
+	}
+	return parts
 }
 
 // directiveText returns the payload after "lint:ignore" when the

@@ -31,8 +31,11 @@ func TestDirectiveText(t *testing.T) {
 // same line and line-above suppress, two lines above does not, and the
 // analyzer name must match unless it is the wildcard.
 func TestSuppressionCoverage(t *testing.T) {
-	set := suppressionSet{byFileLine: map[string]map[int][]string{
-		"a.go": {10: {"clockdiscipline"}, 20: {"*"}},
+	mk := func(names ...string) *directive {
+		return &directive{file: "a.go", names: names, used: make(map[string]bool)}
+	}
+	set := &suppressionSet{byFileLine: map[string]map[int][]*directive{
+		"a.go": {10: {mk("clockdiscipline")}, 20: {mk("*")}},
 	}}
 	cases := []struct {
 		finding Finding

@@ -1,0 +1,9 @@
+// Package bad fails type-checking on purpose: the typed tier must
+// refuse to reason from partial types and report one driver finding.
+package bad
+
+// Mismatch assigns a string to an int.
+func Mismatch() int {
+	var n int = "not an int"
+	return n
+}

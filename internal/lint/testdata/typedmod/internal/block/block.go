@@ -1,0 +1,66 @@
+// Package block covers blockingunderlock: channel operations and sleeps
+// with a mutex held (positives), the same operations after an explicit
+// unlock or behind a select default (negatives), and a reasoned
+// suppression.
+package block
+
+import (
+	"sync"
+	"time"
+)
+
+// Q pairs a mutex with a channel.
+type Q struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// SendLocked blocks on a channel send with mu held.
+func (q *Q) SendLocked(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.ch <- v
+}
+
+// RecvLocked blocks on a receive with mu held.
+func (q *Q) RecvLocked() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return <-q.ch
+}
+
+// SleepLocked holds mu across a sleep.
+func (q *Q) SleepLocked() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	//lint:ignore clockdiscipline fixture: the raw sleep stays; the typed tier must catch the lock held across it
+	time.Sleep(time.Millisecond)
+}
+
+// SendUnlocked releases mu before the send: negative (the explicit
+// unlock kills the lock on this path).
+func (q *Q) SendUnlocked(v int) {
+	q.mu.Lock()
+	q.mu.Unlock()
+	q.ch <- v
+}
+
+// TryRecv polls behind a default arm: negative (never blocks).
+func (q *Q) TryRecv() (int, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select {
+	case v := <-q.ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// SendSuppressed is SendLocked with a reasoned suppression.
+func (q *Q) SendSuppressed(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	//lint:ignore blockingunderlock fixture: documents the reasoned-suppression path
+	q.ch <- v
+}

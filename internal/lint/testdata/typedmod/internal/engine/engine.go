@@ -1,0 +1,82 @@
+// Package engine mirrors the real engine's hook surface so the
+// hookreentrancy fixture exercises the same matching rules (a func field
+// on a struct named engine.Hooks) the production sweep uses. It is also
+// the clocktaint sink package: internal/engine is a sink prefix.
+package engine
+
+import "sync"
+
+// Hooks is the callback surface; invoking any field with the engine's
+// mutex held is the violation hookreentrancy proves absent.
+type Hooks struct {
+	Deliver  func(int) bool
+	OnAssign func(int)
+}
+
+// Task is a sink type for the clocktaint literal-field case.
+type Task struct {
+	At int64
+}
+
+// Engine is a minimal lock-plus-hooks shape.
+type Engine struct {
+	mu    sync.Mutex
+	n     int
+	hooks Hooks
+}
+
+// Submit is a sink function: a tainted argument is a finding at the
+// caller.
+func (e *Engine) Submit(stamp int64) {
+	e.mu.Lock()
+	e.n = int(stamp)
+	e.mu.Unlock()
+}
+
+// BadHook fires Deliver with mu held: the direct positive.
+func (e *Engine) BadHook() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.n++
+	if e.hooks.Deliver != nil {
+		e.hooks.Deliver(e.n)
+	}
+}
+
+// GoodHook snapshots under the lock and fires after releasing it: the
+// negative control (the early Unlock kills the lock on this path).
+func (e *Engine) GoodHook() {
+	e.mu.Lock()
+	n := e.n
+	e.mu.Unlock()
+	if e.hooks.Deliver != nil {
+		e.hooks.Deliver(n)
+	}
+}
+
+// emit is lock-free in isolation; Indirect calls it with mu held, so the
+// finding lands here with caller provenance: the interprocedural
+// positive.
+func (e *Engine) emit(n int) {
+	if e.hooks.OnAssign != nil {
+		e.hooks.OnAssign(n)
+	}
+}
+
+// Indirect is the caller that poisons emit's entry set.
+func (e *Engine) Indirect() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.emit(e.n)
+}
+
+// SuppressedHook is BadHook with a reasoned suppression: no finding, and
+// the directive must not be reported stale.
+func (e *Engine) SuppressedHook() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.hooks.Deliver != nil {
+		//lint:ignore hookreentrancy fixture: documents the reasoned-suppression path
+		e.hooks.Deliver(e.n)
+	}
+}

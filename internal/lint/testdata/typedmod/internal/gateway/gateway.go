@@ -1,0 +1,49 @@
+// Package gateway is the clocktaint caller side: it mints wall-clock
+// values outside the sink packages and hands them across the boundary
+// into typedfix/internal/engine (a sink prefix). One flow per rule:
+// sink-call argument, sink-literal field, wall-seeded RNG, plus the
+// seeded negative and the sanctioned-source negative. The syntactic
+// clockdiscipline findings on the raw reads are suppressed so the typed
+// tier is what's under test.
+package gateway
+
+import (
+	"math/rand"
+	"time"
+
+	"typedfix/internal/engine"
+)
+
+// Stamp launders a wall read through a local before the sink call.
+func Stamp(e *engine.Engine) {
+	//lint:ignore clockdiscipline fixture: raw read stays; the typed tier must catch the laundered flow below
+	now := time.Now()
+	e.Submit(now.UnixNano())
+}
+
+// Build stores a wall-derived value in a sink-package literal.
+func Build() engine.Task {
+	//lint:ignore clockdiscipline fixture: raw read stays; the typed tier must catch the literal-field flow
+	return engine.Task{At: time.Now().UnixNano()}
+}
+
+// Reseed seeds an RNG from the clock: unreproducible by construction.
+func Reseed() int64 {
+	//lint:ignore clockdiscipline fixture: raw read stays; the typed tier must catch the wall-seeded RNG
+	return rand.New(rand.NewSource(time.Now().UnixNano())).Int63()
+}
+
+// Seeded drives the same sink from a pinned seed: negative.
+func Seeded(e *engine.Engine) {
+	r := rand.New(rand.NewSource(1))
+	e.Submit(r.Int63())
+}
+
+// Sanctioned documents an intentional wall read: the clocktaint
+// suppression sanitizes the source itself, so the downstream sink call
+// does not fire either.
+func Sanctioned(e *engine.Engine) {
+	//lint:ignore clockdiscipline,clocktaint fixture: sanctioned wall read; nothing downstream may fire
+	now := time.Now()
+	e.Submit(now.UnixNano())
+}

@@ -1,0 +1,50 @@
+// Package locka seeds a lock-order cycle: AB establishes a → b through
+// an interprocedural call, BA establishes b → a directly. lockorder must
+// report the cycle and a self-deadlock, and nothing else.
+package locka
+
+import "sync"
+
+// Pair holds two mutexes acquired in conflicting orders.
+type Pair struct {
+	a sync.Mutex
+	b sync.Mutex
+	n int
+}
+
+// AB acquires a, then (via lockB) b: the a → b edge.
+func (p *Pair) AB() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.lockB()
+}
+
+// lockB acquires b; its entry set inherits a from AB.
+func (p *Pair) lockB() {
+	p.b.Lock()
+	defer p.b.Unlock()
+	p.n++
+}
+
+// BA acquires b, then a: the b → a edge closing the cycle.
+func (p *Pair) BA() {
+	p.b.Lock()
+	defer p.b.Unlock()
+	p.a.Lock()
+	p.n++
+	p.a.Unlock()
+}
+
+// Reentrant re-acquires a lock already held by its caller: the
+// self-deadlock case, attributed interprocedurally.
+func (p *Pair) Reentrant() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.bump()
+}
+
+func (p *Pair) bump() {
+	p.a.Lock()
+	p.n++
+	p.a.Unlock()
+}

@@ -1,0 +1,37 @@
+// Package lockb is the negative control for lockorder: both locks are
+// always taken in the same order, so the acquisition graph is acyclic.
+// It also carries a deliberately stale suppression for the staleignore
+// check.
+package lockb
+
+import "sync"
+
+// Ordered acquires outer before inner everywhere.
+type Ordered struct {
+	outer sync.Mutex
+	inner sync.Mutex
+	n     int
+}
+
+// Both nests inner under outer.
+func (o *Ordered) Both() {
+	o.outer.Lock()
+	defer o.outer.Unlock()
+	o.inner.Lock()
+	o.n++
+	o.inner.Unlock()
+}
+
+// InnerOnly takes just the inner lock; no conflicting order exists.
+func (o *Ordered) InnerOnly() {
+	o.inner.Lock()
+	defer o.inner.Unlock()
+	o.n++
+}
+
+// Stale has no lockorder diagnostic, so the directive below must be
+// reported by staleignore.
+func (o *Ordered) Stale() int {
+	//lint:ignore lockorder fixture: stale by construction, nothing to suppress here
+	return o.n
+}

@@ -44,6 +44,7 @@ func (p *Package) relFile(name string) string {
 type Module struct {
 	Root     string // directory containing go.mod
 	Path     string // module path from go.mod
+	Fset     *token.FileSet
 	Packages []*Package
 	Index    *Index
 }
@@ -116,7 +117,7 @@ func LoadModule(root string) (*Module, error) {
 		return nil, walkErr
 	}
 
-	mod := &Module{Root: root, Path: modPath}
+	mod := &Module{Root: root, Path: modPath, Fset: fset}
 	for _, pkg := range byDir {
 		sort.Slice(pkg.Files, func(i, j int) bool { return pkg.Files[i].Name < pkg.Files[j].Name })
 		mod.Packages = append(mod.Packages, pkg)

@@ -67,6 +67,7 @@ func (p Portfolio) Match(g *bipartite.Graph) (*bipartite.Matching, Stats) {
 			results[i] = outcome{m, st}
 		}(i)
 	}
+	//lint:ignore blockingunderlock joins the portfolio's own CPU-bound matcher goroutines, spawned a few lines up; holding the engine's batch lock across the match is the one-round-at-a-time design
 	wg.Wait()
 
 	// Deterministic winner: highest weight, lowest index on ties.

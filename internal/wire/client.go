@@ -218,12 +218,14 @@ func (cl *Client) call(m Message) (Message, error) {
 	}
 	m.Seq = cl.seq.Add(1)
 	cl.lastSend.Store(time.Now().UnixNano())
+	//lint:ignore blockingunderlock reqMu exists to hold exactly one request/response exchange on the wire; encoding under it is the protocol
 	if err := cl.enc.Encode(m); err != nil {
 		return Message{}, err
 	}
 	timeout := time.NewTimer(time.Duration(cl.callTimeout.Load()))
 	defer timeout.Stop()
 	for {
+		//lint:ignore blockingunderlock waiting for the matching response under reqMu is the one-in-flight-call design; the timeout arm bounds the hold
 		select {
 		case resp := <-cl.resp:
 			switch {

@@ -258,6 +258,7 @@ func (c *conn) send(m Message) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	c.c.SetWriteDeadline(time.Now().Add(10 * time.Second))
+	//lint:ignore blockingunderlock wmu serializes whole frames onto the socket; the write deadline above bounds the hold
 	err := c.enc.Encode(m)
 	if err == nil {
 		c.srv.framesWritten.Add(1)
@@ -399,6 +400,7 @@ func (c *conn) handle(m Message) {
 			c.reply(m.Seq, errors.New("submit: missing task"))
 			return
 		}
+		//lint:ignore clocktaint the live server stamps real arrival time on submitted tasks by definition; replayable runs go through the sim harness
 		c.reply(m.Seq, s.backend.Submit(m.Task.Task(time.Now())))
 
 	case "complete":
