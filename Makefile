@@ -3,14 +3,15 @@
 GO ?= go
 # Packages with real goroutine concurrency; the race detector gates them
 # on every change.
-RACE_PKGS = ./internal/engine ./internal/core ./internal/wire ./internal/federation ./internal/taskq ./internal/faultnet ./internal/obs
+RACE_PKGS = ./internal/engine ./internal/core ./internal/wire ./internal/federation ./internal/taskq ./internal/faultnet ./internal/obs ./internal/journal
 # Packages whose statement coverage must not fall below COVER_FLOOR; the
 # scheduling engine and the metrics layer are the paper's core claims,
-# and the linter is the gate everything else leans on.
-COVER_PKGS = internal/engine internal/metrics internal/lint
+# the linter is the gate everything else leans on, and the journal is
+# what crash recovery trusts.
+COVER_PKGS = internal/engine internal/metrics internal/lint internal/journal
 COVER_FLOOR = 70
 
-.PHONY: all build lint lint-typed lockorder lockorder-check vet test race chaos determinism bench coverage ci
+.PHONY: all build lint lint-typed lockorder lockorder-check vet test race chaos recovery determinism bench coverage ci
 
 all: build lint test
 
@@ -56,6 +57,14 @@ race:
 chaos:
 	$(GO) test -race -run 'Chaos|Proxy|Resilient' ./internal/wire ./internal/faultnet ./internal/loadgen
 
+# Crash-durability gate: a real reactd with -data-dir is SIGKILLed twice
+# mid-run and must recover from its write-ahead journal with zero
+# unresolved tasks (docs/PERSISTENCE.md). Skips itself without REACTD_BIN,
+# so plain `go test ./...` stays hermetic.
+recovery:
+	$(GO) build -o /tmp/reactd-recovery ./cmd/reactd
+	REACTD_BIN=/tmp/reactd-recovery $(GO) test -race -run TestKillRecovery -count=1 -v ./internal/loadgen
+
 # Two same-seed simulation runs must produce byte-identical reports —
 # the reproducibility property the linter exists to protect. Figures
 # 3/4 are excluded: they measure real matcher wall time by design.
@@ -98,4 +107,4 @@ coverage:
 		fi; \
 	done
 
-ci: build lint test race chaos determinism
+ci: build lint test race chaos recovery determinism

@@ -7,7 +7,13 @@
 //	reactd -addr :7341
 //	reactd -addr :7341 -matcher greedy -cycles 3000 -batch-bound 10
 //	reactd -addr :7341 -http :9090
+//	reactd -addr :7341 -data-dir /var/lib/reactd
 //
+// With -data-dir set, every mutation is write-ahead journaled with
+// group-commit fsync batching and the full server state — tasks, worker
+// histories, counters — is recovered from the journal at startup, so a
+// crash or kill -9 loses at most one fsync interval of acknowledgements
+// (see docs/PERSISTENCE.md).
 // Interact with it using reactctl (register workers, submit tasks, watch
 // results) or any client speaking the newline-delimited JSON protocol.
 // With -http set, a read-only observability plane serves /metrics
@@ -29,6 +35,7 @@ import (
 	"react/internal/core"
 	"react/internal/engine"
 	"react/internal/federation"
+	"react/internal/journal"
 	"react/internal/matching"
 	"react/internal/metrics"
 	"react/internal/obs"
@@ -82,6 +89,8 @@ func main() {
 	monitorPeriod := flag.Duration("monitor-period", time.Second, "Eq.2 sweep period")
 	statsEvery := flag.Duration("stats-every", 30*time.Second, "stats logging period (0 disables)")
 	profiles := flag.String("profiles", "", "profile snapshot file: loaded at startup, saved at shutdown (single-region mode only)")
+	dataDir := flag.String("data-dir", "", "write-ahead journal directory: state recovered at startup, every mutation journaled (single-region mode only)")
+	fsyncInterval := flag.Duration("fsync-interval", 25*time.Millisecond, "group-commit window: the journal fsyncs at most this far behind the last acknowledged mutation")
 	retention := flag.Duration("retention", time.Hour, "how long terminal task records are kept for late feedback")
 	grid := flag.String("grid", "", "multi-region mode: \"RxC\" decomposition of -area (e.g. 2x2); empty = single region")
 	area := flag.String("area", "37.8,23.5,38.2,24.0", "geographic area as minLat,minLon,maxLat,maxLon (multi-region mode)")
@@ -129,6 +138,7 @@ func main() {
 	}
 
 	var srv *wire.Server
+	var store *journal.Store
 	var err error
 	if *grid != "" {
 		srv, err = serveGrid(*addr, *grid, *area, opts, ow)
@@ -136,12 +146,40 @@ func main() {
 			log.Print("reactd: -profiles is ignored in multi-region mode")
 			*profiles = ""
 		}
+		if *dataDir != "" {
+			log.Print("reactd: -data-dir is ignored in multi-region mode")
+			*dataDir = ""
+		}
 	} else {
 		var col *obs.EngineCollector
 		if ow != nil {
 			col = hookCollector(&opts)
 		}
-		srv, err = wire.Serve(*addr, opts)
+		if *dataDir != "" {
+			// The journal subsumes the profile snapshot: it recovers
+			// profiles and tasks and counters, continuously.
+			if *profiles != "" {
+				log.Print("reactd: -profiles is ignored when -data-dir journaling is on")
+				*profiles = ""
+			}
+			store, err = journal.Open(journal.Options{
+				Dir:           *dataDir,
+				FsyncInterval: *fsyncInterval,
+				Logf:          log.Printf,
+			})
+			if err == nil {
+				var sum journal.Summary
+				srv, sum, err = wire.ServeDurable(*addr, opts, store)
+				if err != nil {
+					store.Close()
+				} else {
+					log.Printf("reactd: journal %s: recovered %d tasks, %d workers (snapshot seq %d, %d tail records, %d torn bytes dropped)",
+						*dataDir, sum.Tasks, sum.Workers, sum.SnapshotSeq, sum.TailRecords, sum.TornBytes)
+				}
+			}
+		} else {
+			srv, err = wire.Serve(*addr, opts)
+		}
 		if err == nil && ow != nil {
 			ow.register(col, "all", srv.Core().Engine())
 		}
@@ -156,6 +194,11 @@ func main() {
 	if ow != nil {
 		if err := obs.RegisterWireServer(ow.reg, srv); err != nil {
 			log.Fatalf("reactd: wire metrics: %v", err)
+		}
+		if store != nil {
+			if err := obs.RegisterJournal(ow.reg, store); err != nil {
+				log.Fatalf("reactd: journal metrics: %v", err)
+			}
 		}
 		plane = obs.NewServer(obs.Options{
 			Clock:    clock.System{},

@@ -9,15 +9,14 @@
 //	reactload -addr localhost:7341 -workers 30 -rate 8 -tasks 200
 //
 // With -chaos, reactload instead brings up its own in-process region server
-// behind a fault-injecting proxy, cuts every connection partway through the
-// run, and restarts the server (snapshotting and restoring worker profiles)
-// at the two-thirds mark — then requires the run to finish with zero
-// unresolved tasks and zero response mismatches. It is the wire layer's
-// resilience demo in one command.
+// — journaled to a throwaway data dir — behind a fault-injecting proxy, cuts
+// every connection partway through the run, and restarts the server at the
+// two-thirds mark, recovering every task and worker profile from the
+// write-ahead journal. The run must finish with zero unresolved tasks and
+// zero response mismatches. It is the resilience demo in one command.
 package main
 
 import (
-	"bytes"
 	"flag"
 	"fmt"
 	"log"
@@ -27,6 +26,7 @@ import (
 	"react/internal/core"
 	"react/internal/dynassign"
 	"react/internal/faultnet"
+	"react/internal/journal"
 	"react/internal/loadgen"
 	"react/internal/schedule"
 	"react/internal/wire"
@@ -103,19 +103,34 @@ func serverOptions() core.Options {
 	}
 }
 
-// setupChaos starts the in-process server and proxy, points the run at the
-// proxy, turns on resilient mode, and installs the fault schedule: every
-// connection hard-reset at one third of the submissions, a full server
-// restart (profiles snapshotted and restored, new port, proxy retargeted)
-// at two thirds. Returns a cleanup for the final server and proxy.
+// setupChaos starts the in-process server — journaled to a throwaway data
+// dir — and the proxy, points the run at the proxy, turns on resilient
+// mode, and installs the fault schedule: every connection hard-reset at
+// one third of the submissions, a full server restart at two thirds. The
+// restart is the real crash/recovery cycle: the old server stops (flushing
+// its write-ahead log), a new one recovers every task and worker profile
+// from the same data dir on a new port, and the proxy is retargeted.
+// Returns a cleanup for the final server, proxy, and data dir.
 func setupChaos(cfg *loadgen.Config) (func(), error) {
-	srv, err := wire.Serve("127.0.0.1:0", serverOptions())
+	dataDir, err := os.MkdirTemp("", "reactload-chaos-*")
 	if err != nil {
+		return nil, err
+	}
+	store, err := journal.Open(journal.Options{Dir: dataDir, Logf: log.Printf})
+	if err != nil {
+		os.RemoveAll(dataDir)
+		return nil, err
+	}
+	srv, _, err := wire.ServeDurable("127.0.0.1:0", serverOptions(), store)
+	if err != nil {
+		store.Close()
+		os.RemoveAll(dataDir)
 		return nil, err
 	}
 	proxy, err := faultnet.New(faultnet.Config{Target: srv.Addr(), Seed: cfg.Seed})
 	if err != nil {
 		srv.Close()
+		os.RemoveAll(dataDir)
 		return nil, err
 	}
 	cfg.Addr = proxy.Addr()
@@ -135,27 +150,27 @@ func setupChaos(cfg *loadgen.Config) (func(), error) {
 			cut := proxy.ResetAll()
 			log.Printf("chaos: hard-reset %d connections at task %d", cut, n)
 		case restartAt:
-			var snap bytes.Buffer
-			if err := srv.Core().SaveProfiles(&snap); err != nil {
-				log.Printf("chaos: profile snapshot failed: %v", err)
-			}
-			srv.Close()
-			next, err := wire.Serve("127.0.0.1:0", serverOptions())
+			srv.Close() // flushes and closes the journal
+			next, err := journal.Open(journal.Options{Dir: dataDir, Logf: log.Printf})
 			if err != nil {
+				log.Printf("chaos: journal recovery failed: %v", err)
+				return
+			}
+			nextSrv, sum, err := wire.ServeDurable("127.0.0.1:0", serverOptions(), next)
+			if err != nil {
+				next.Close()
 				log.Printf("chaos: restart failed: %v", err)
 				return
 			}
-			n, err := next.Core().LoadProfiles(&snap)
-			if err != nil {
-				log.Printf("chaos: profile restore failed: %v", err)
-			}
-			proxy.SetTarget(next.Addr())
-			srv = next
-			log.Printf("chaos: server restarted on %s with %d profiles restored", next.Addr(), n)
+			proxy.SetTarget(nextSrv.Addr())
+			srv = nextSrv
+			log.Printf("chaos: server restarted on %s, recovered %d tasks and %d workers from the journal (seq %d)",
+				nextSrv.Addr(), sum.Tasks, sum.Workers, sum.LastSeq)
 		}
 	}
 	return func() {
 		proxy.Close()
 		srv.Close()
+		os.RemoveAll(dataDir)
 	}, nil
 }

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"react/internal/engine"
+	"react/internal/journal"
+	"react/internal/region"
+	"react/internal/taskq"
+)
+
+// EnablePersistence attaches a journal store to a freshly constructed,
+// not-yet-started server: it bulk-loads whatever the store recovered —
+// tasks verbatim, worker profiles (restored offline until they
+// reconnect), lifecycle counters — then installs the write-ahead hooks so
+// every subsequent mutation is journaled. Finally, every recovered task
+// still marked Assigned is swept back to the unassigned pool, because its
+// worker's connection did not survive the restart; the sweep itself is
+// journaled, so a second crash recovers the post-sweep state.
+//
+// Call it exactly once, after New and before Start or any traffic. The
+// returned summary is what Open recovered, for startup logs.
+func (s *Server) EnablePersistence(store *journal.Store) (journal.Summary, error) {
+	if s.store != nil {
+		return journal.Summary{}, fmt.Errorf("core: persistence already enabled")
+	}
+	sum := store.Summary()
+	st := store.TakeRecovered()
+	if st == nil {
+		return sum, fmt.Errorf("core: journal store's recovered state already taken")
+	}
+
+	// Profiles cross registries via the snapshot codec: it persists only
+	// durable state and restores workers as offline, exactly the posture a
+	// restarted server needs.
+	var buf bytes.Buffer
+	if err := st.Profiles.WriteSnapshot(&buf); err != nil {
+		return sum, err
+	}
+	if _, err := s.eng.Workers().ReadSnapshot(&buf); err != nil {
+		return sum, err
+	}
+	ids := make([]string, 0, len(st.Tasks))
+	for id := range st.Tasks {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if err := s.eng.Tasks().Restore(st.Tasks[id]); err != nil {
+			return sum, fmt.Errorf("core: restore task %q: %w", id, err)
+		}
+	}
+
+	// Journal from here on. Append never blocks (it only buffers), so it
+	// is safe under the shard lock the sink fires beneath. Errors are not
+	// actionable here: the store has already logged its sticky failure,
+	// and a dead disk must degrade durability, not availability.
+	s.store = store
+	s.eng.Tasks().SetSink(func(ev taskq.Event) {
+		_ = store.Append(journal.TaskRecord(ev))
+	})
+
+	// Sweep orphaned assignments back to the pool — journaled through the
+	// sink just installed — and seed the counters, crediting the sweep as
+	// reassignments (the same accounting a worker disconnect gets).
+	swept := int64(0)
+	for _, rec := range s.eng.Tasks().AssignedTasks() {
+		if err := s.eng.Tasks().Unassign(rec.Task.ID); err != nil {
+			return sum, fmt.Errorf("core: return recovered task %q to pool: %w", rec.Task.ID, err)
+		}
+		swept++
+	}
+	s.eng.RestoreStats(engine.Stats{
+		Received:   st.Stats.Received,
+		Assigned:   st.Stats.Assigned,
+		Completed:  st.Stats.Completed,
+		OnTime:     st.Stats.OnTime,
+		Expired:    st.Stats.Expired,
+		Reassigned: st.Stats.Reassigned + swept,
+	})
+	return sum, nil
+}
+
+// Journal exposes the attached store (nil when persistence is disabled),
+// for the observability plane.
+func (s *Server) Journal() *journal.Store { return s.store }
+
+// journalAppend writes one engine-level record when persistence is
+// enabled. Task-lifecycle records flow through the taskq sink instead.
+func (s *Server) journalAppend(rec journal.Record) {
+	if s.store != nil {
+		_ = s.store.Append(rec)
+	}
+}
+
+// journalAttach records a worker registration.
+func (s *Server) journalAttach(id string, loc region.Point) {
+	s.journalAppend(journal.Record{Kind: journal.KindAttach, Worker: id, Lat: loc.Lat, Lon: loc.Lon})
+}

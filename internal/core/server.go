@@ -21,6 +21,7 @@ import (
 	"react/internal/clock"
 	"react/internal/dynassign"
 	"react/internal/engine"
+	"react/internal/journal"
 	"react/internal/matching"
 	"react/internal/profile"
 	"react/internal/region"
@@ -114,6 +115,7 @@ type Server struct {
 	opts  Options
 	eng   *engine.Engine
 	feeds feedTable
+	store *journal.Store // non-nil once EnablePersistence ran
 
 	mu     sync.Mutex // guards closed (feeds shard their own locks)
 	stop   chan struct{}
@@ -171,7 +173,10 @@ func (s *Server) Start() {
 	go s.monitorLoop()
 }
 
-// Stop terminates the loops and closes every worker feed. It is idempotent.
+// Stop terminates the loops, closes every worker feed, and — when
+// persistence is enabled — closes the journal last, so its final group
+// commit captures every mutation the loops produced on the way down
+// (flush-before-shutdown ordering). It is idempotent.
 func (s *Server) Stop() {
 	s.mu.Lock()
 	if s.closed {
@@ -183,6 +188,9 @@ func (s *Server) Stop() {
 	s.mu.Unlock()
 	s.wg.Wait()
 	s.feeds.closeAll()
+	if s.store != nil {
+		s.store.Close()
+	}
 }
 
 // RegisterWorker adds a worker and returns the channel on which the worker
@@ -196,6 +204,7 @@ func (s *Server) RegisterWorker(id string, loc region.Point) (<-chan Assignment,
 	if _, err := s.eng.AttachWorker(id, loc); err != nil {
 		return nil, err
 	}
+	s.journalAttach(id, loc)
 	ch := make(chan Assignment, s.opts.QueueDepth)
 	s.feeds.put(id, ch)
 	return ch, nil
@@ -207,6 +216,7 @@ func (s *Server) DeregisterWorker(id string) error {
 	if err := s.eng.DeregisterWorker(id); err != nil {
 		return err
 	}
+	s.journalAppend(journal.Record{Kind: journal.KindDeregister, Worker: id})
 	s.feeds.drop(id)
 	return nil
 }
@@ -250,7 +260,23 @@ func (s *Server) Complete(taskID, workerID, answer string) (Result, error) {
 // unassigned) or whose worker deregistered returns ErrNoWorker without
 // consuming the grade.
 func (s *Server) Feedback(taskID string, positive bool) error {
-	return s.eng.Feedback(taskID, positive)
+	if err := s.eng.Feedback(taskID, positive); err != nil {
+		return err
+	}
+	if s.store != nil {
+		// The grade mutated worker accuracy (Eq. 1) and the task's Graded
+		// flag — state the taskq sink cannot observe, journaled here.
+		if rec, ok := s.eng.Tasks().Get(taskID); ok {
+			s.journalAppend(journal.Record{
+				Kind:     journal.KindFeedback,
+				TaskID:   taskID,
+				Worker:   rec.Worker,
+				Category: rec.Task.Category,
+				Positive: positive,
+			})
+		}
+	}
+	return nil
 }
 
 // TaskStatus is a point-in-time view of one task's lifecycle, served to

@@ -349,6 +349,19 @@ func (e *Engine) Stats() Stats {
 	}
 }
 
+// RestoreStats seeds the lifecycle counters from recovered state, before
+// traffic starts. Batches and MatcherTime are deliberately not restorable:
+// scheduling rounds are not journaled, so those two reset across a
+// recovery (documented in docs/PERSISTENCE.md).
+func (e *Engine) RestoreStats(st Stats) {
+	e.ctr.received.Store(st.Received)
+	e.ctr.assigned.Store(st.Assigned)
+	e.ctr.completed.Store(st.Completed)
+	e.ctr.onTime.Store(st.OnTime)
+	e.ctr.expired.Store(st.Expired)
+	e.ctr.reassigned.Store(st.Reassigned)
+}
+
 // Tick runs one full maintenance pass — retention GC, unassigned-task
 // expiry, then the batch trigger — in the order the live server's poll loop
 // needs. Event-driven hosts call the individual ticks on their own cadences

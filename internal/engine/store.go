@@ -78,14 +78,23 @@ func (s *TaskStore) Complete(taskID string) (taskq.Record, error) {
 func (s *TaskStore) MarkGraded(taskID string) error { return s.shard(taskID).MarkGraded(taskID) }
 
 // Unassigned snapshots the tasks waiting for a worker, oldest submission
-// first (ties broken by id), merged across shards.
+// first (ties broken by id), merged across shards. The merge collects the
+// per-shard slices first and allocates the result once at the summed
+// length: this runs on the per-batch hot path, where growing the slice by
+// repeated append costs a realloc-and-copy per doubling.
 func (s *TaskStore) Unassigned() []taskq.Task {
 	if len(s.shards) == 1 {
 		return s.shards[0].Unassigned()
 	}
-	var out []taskq.Task
-	for _, m := range s.shards {
-		out = append(out, m.Unassigned()...)
+	parts := make([][]taskq.Task, len(s.shards))
+	total := 0
+	for i, m := range s.shards {
+		parts[i] = m.Unassigned()
+		total += len(parts[i])
+	}
+	out := make([]taskq.Task, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if !out[i].Submitted.Equal(out[j].Submitted) {
@@ -93,6 +102,26 @@ func (s *TaskStore) Unassigned() []taskq.Task {
 		}
 		return out[i].ID < out[j].ID
 	})
+	return out
+}
+
+// mergeRecords merges one record-snapshot call across shards into a single
+// id-sorted slice, presized to the exact total (see Unassigned).
+func (s *TaskStore) mergeRecords(snap func(*taskq.Manager) []taskq.Record) []taskq.Record {
+	if len(s.shards) == 1 {
+		return snap(s.shards[0])
+	}
+	parts := make([][]taskq.Record, len(s.shards))
+	total := 0
+	for i, m := range s.shards {
+		parts[i] = snap(m)
+		total += len(parts[i])
+	}
+	out := make([]taskq.Record, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Task.ID < out[j].Task.ID })
 	return out
 }
 
@@ -109,43 +138,19 @@ func (s *TaskStore) UnassignedCount() int {
 // AssignedTasks snapshots the records currently executing, sorted by task
 // id across shards, for the Eq. 2 monitor.
 func (s *TaskStore) AssignedTasks() []taskq.Record {
-	if len(s.shards) == 1 {
-		return s.shards[0].AssignedTasks()
-	}
-	var out []taskq.Record
-	for _, m := range s.shards {
-		out = append(out, m.AssignedTasks()...)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Task.ID < out[j].Task.ID })
-	return out
+	return s.mergeRecords((*taskq.Manager).AssignedTasks)
 }
 
 // ExpireUnassigned expires every overdue task still waiting in the pool and
 // returns their records sorted by task id.
 func (s *TaskStore) ExpireUnassigned() []taskq.Record {
-	if len(s.shards) == 1 {
-		return s.shards[0].ExpireUnassigned()
-	}
-	var out []taskq.Record
-	for _, m := range s.shards {
-		out = append(out, m.ExpireUnassigned()...)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Task.ID < out[j].Task.ID })
-	return out
+	return s.mergeRecords((*taskq.Manager).ExpireUnassigned)
 }
 
 // ExpireDue expires every overdue non-terminal task, assigned or not, and
 // returns their records sorted by task id.
 func (s *TaskStore) ExpireDue() []taskq.Record {
-	if len(s.shards) == 1 {
-		return s.shards[0].ExpireDue()
-	}
-	var out []taskq.Record
-	for _, m := range s.shards {
-		out = append(out, m.ExpireDue()...)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Task.ID < out[j].Task.ID })
-	return out
+	return s.mergeRecords((*taskq.Manager).ExpireDue)
 }
 
 // Counts sums how many tasks are in each state across shards.
@@ -194,6 +199,21 @@ func (s *TaskStore) Total() int {
 		n += m.Total()
 	}
 	return n
+}
+
+// Restore inserts a recovered record verbatim on its shard, bypassing
+// lifecycle checks (see taskq.Manager.Restore). Journal recovery
+// bulk-loads a snapshot through this before the engine starts.
+func (s *TaskStore) Restore(r taskq.Record) error { return s.shard(r.Task.ID).Restore(r) }
+
+// SetSink installs fn as every shard's mutation observer. Events are
+// emitted while the shard's lock is held, which gives a write-ahead log
+// its per-task total order; fn must be fast, must not block, and must not
+// call back into the store. Install before traffic starts.
+func (s *TaskStore) SetSink(fn func(taskq.Event)) {
+	for _, m := range s.shards {
+		m.SetSink(fn)
+	}
 }
 
 // ForgetTerminatedBefore garbage-collects terminal records older than

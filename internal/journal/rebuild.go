@@ -1,0 +1,108 @@
+package journal
+
+import (
+	"fmt"
+
+	"react/internal/profile"
+	"react/internal/region"
+	"react/internal/taskq"
+)
+
+// Counters are the engine statistics the journal can reconstruct. Batch
+// counts and matcher wall time are intentionally absent: scheduling rounds
+// are not journaled (they carry no state a replay needs), so those two
+// reset across a recovery.
+type Counters struct {
+	Received   int64 `json:"received"`
+	Assigned   int64 `json:"assigned"`
+	Completed  int64 `json:"completed"`
+	OnTime     int64 `json:"on_time"`
+	Expired    int64 `json:"expired"`
+	Reassigned int64 `json:"reassigned"`
+}
+
+// State is rebuilt scheduling state: the task registry as plain records,
+// the worker profiles, and the counters. It is produced by replaying a
+// snapshot plus WAL records and consumed either by recovery (bulk-loaded
+// into a fresh engine) or by compaction (written straight back out as the
+// next snapshot).
+type State struct {
+	Tasks    map[string]taskq.Record
+	Profiles *profile.Registry
+	Stats    Counters
+}
+
+// NewState returns an empty rebuild target.
+func NewState() *State {
+	return &State{
+		Tasks:    make(map[string]taskq.Record),
+		Profiles: profile.NewRegistry(),
+	}
+}
+
+// Apply replays one record. Task-lifecycle records are pure upserts — the
+// record carries the full post-mutation state, and the taskq sink's
+// under-lock emission guarantees per-task order — so Apply cannot reject a
+// record for being in the "wrong" state; it only fails on records that
+// reference impossible worker state, which indicates a corrupt or
+// hand-edited log.
+func (s *State) Apply(r Record) error {
+	switch r.Kind {
+	case KindSubmit:
+		s.Tasks[r.Task.Task.ID] = *r.Task
+		s.Stats.Received++
+	case KindAssign:
+		s.Tasks[r.Task.Task.ID] = *r.Task
+		s.Stats.Assigned++
+	case KindUnassign:
+		s.Tasks[r.Task.Task.ID] = *r.Task
+		s.Stats.Reassigned++
+	case KindComplete:
+		s.Tasks[r.Task.Task.ID] = *r.Task
+		s.Stats.Completed++
+		if r.Task.MetDeadline() {
+			s.Stats.OnTime++
+		}
+		// Mirror the live engine: a completion feeds the worker's
+		// power-law execution-time model immediately.
+		if p, ok := s.Profiles.Get(r.Task.Worker); ok {
+			p.RecordExecTime(r.Task.ExecTime().Seconds())
+		}
+	case KindExpire:
+		s.Tasks[r.Task.Task.ID] = *r.Task
+		s.Stats.Expired++
+	case KindForget:
+		delete(s.Tasks, r.TaskID)
+	case KindFeedback:
+		// The grade credits the worker's per-category accuracy (Eq. 1) and
+		// marks the task graded so a replayed server still rejects double
+		// grading. A missing task is normal (retention may have forgotten
+		// it between the grade and the crash); a missing worker means the
+		// worker deregistered afterwards, and its history went with it.
+		if p, ok := s.Profiles.Get(r.Worker); ok {
+			p.RecordFeedback(r.Category, r.Positive)
+		}
+		if rec, ok := s.Tasks[r.TaskID]; ok {
+			rec.Graded = true
+			s.Tasks[r.TaskID] = rec
+		}
+	case KindAttach:
+		loc := region.Point{Lat: r.Lat, Lon: r.Lon}
+		if _, err := s.Profiles.Register(r.Worker, loc); err != nil {
+			// Already present: the worker was restored from the snapshot
+			// or attached earlier in the log; refresh its location.
+			if p, ok := s.Profiles.Get(r.Worker); ok && loc.Valid() {
+				p.SetLocation(loc)
+			} else if !ok {
+				return fmt.Errorf("journal: replay attach %q: %w", r.Worker, err)
+			}
+		}
+	case KindDeregister:
+		if err := s.Profiles.Deregister(r.Worker); err != nil {
+			return fmt.Errorf("journal: replay deregister: %w", err)
+		}
+	default:
+		return fmt.Errorf("journal: replay unknown record kind %d", int(r.Kind))
+	}
+	return nil
+}

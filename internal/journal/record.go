@@ -1,0 +1,141 @@
+// Package journal makes a region server's scheduling state durable: a
+// per-shard-ordered write-ahead log of task-lifecycle mutations plus
+// periodic snapshot compaction, so a crashed reactd restarts with every
+// in-flight task instead of relying on clients to resubmit.
+//
+// The design splits into three layers:
+//
+//   - Records (this file): each WAL entry carries the FULL post-mutation
+//     task record — physiological redo logging — so replay is a pure
+//     upsert. No replayed operation can fail a lifecycle check, no clock
+//     needs rewinding, and the final state of a task is simply its last
+//     record. Per-task ordering is guaranteed at the source: taskq emits
+//     events under the shard mutex, before the mutating call returns.
+//   - Framing and the WAL (frame.go, store.go): length-prefixed,
+//     CRC32C-checked frames appended to segment files with group-commit
+//     fsync batching. Recovery distinguishes a torn tail (the crash
+//     window — truncated and reported) from mid-log corruption (valid
+//     frames found beyond the damage — refused loudly).
+//   - Snapshots and compaction (snapshot.go, rebuild.go): a snapshot is
+//     always produced by replaying sealed, immutable segments offline —
+//     never by racing a live engine — so it is exact at a known sequence
+//     boundary and recovery applies only records strictly after it.
+package journal
+
+import (
+	"fmt"
+
+	"react/internal/taskq"
+)
+
+// Kind discriminates WAL records.
+type Kind uint8
+
+// Record kinds. The task-lifecycle kinds (Submit through Forget) mirror
+// taskq.EventKind and carry the full record; Feedback, Attach, and
+// Deregister are engine-level facts the task store cannot observe.
+const (
+	KindSubmit Kind = iota + 1
+	KindAssign
+	KindUnassign
+	KindComplete
+	KindExpire
+	KindForget
+	KindFeedback
+	KindAttach
+	KindDeregister
+)
+
+// String names the kind for logs and errors.
+func (k Kind) String() string {
+	switch k {
+	case KindSubmit:
+		return "submit"
+	case KindAssign:
+		return "assign"
+	case KindUnassign:
+		return "unassign"
+	case KindComplete:
+		return "complete"
+	case KindExpire:
+		return "expire"
+	case KindForget:
+		return "forget"
+	case KindFeedback:
+		return "feedback"
+	case KindAttach:
+		return "attach"
+	case KindDeregister:
+		return "deregister"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Record is one WAL entry. Seq is assigned by the store at append time and
+// is strictly contiguous within a log: recovery treats a gap as data loss
+// and refuses to start.
+type Record struct {
+	Seq  uint64 `json:"seq"`
+	Kind Kind   `json:"kind"`
+
+	// Task carries the full post-mutation record for the task-lifecycle
+	// kinds (nil for KindForget and the worker-level kinds).
+	Task *taskq.Record `json:"task,omitempty"`
+
+	// TaskID identifies the subject of KindForget and KindFeedback.
+	TaskID string `json:"task_id,omitempty"`
+
+	// Worker-level fields: KindFeedback credits Worker's accuracy in
+	// Category; KindAttach registers Worker at (Lat, Lon); KindDeregister
+	// removes Worker and its history.
+	Worker   string  `json:"worker,omitempty"`
+	Category string  `json:"category,omitempty"`
+	Positive bool    `json:"positive,omitempty"`
+	Lat      float64 `json:"lat,omitempty"`
+	Lon      float64 `json:"lon,omitempty"`
+}
+
+// TaskRecord converts a taskq mutation event into its WAL record.
+func TaskRecord(ev taskq.Event) Record {
+	switch ev.Kind {
+	case taskq.EvSubmit:
+		return Record{Kind: KindSubmit, Task: &ev.Record}
+	case taskq.EvAssign:
+		return Record{Kind: KindAssign, Task: &ev.Record}
+	case taskq.EvUnassign:
+		return Record{Kind: KindUnassign, Task: &ev.Record}
+	case taskq.EvComplete:
+		return Record{Kind: KindComplete, Task: &ev.Record}
+	case taskq.EvExpire:
+		return Record{Kind: KindExpire, Task: &ev.Record}
+	case taskq.EvForget:
+		return Record{Kind: KindForget, TaskID: ev.Record.Task.ID}
+	default:
+		// An unknown event kind is a programming error in the caller; an
+		// explicitly invalid record fails validation at append time rather
+		// than poisoning the log silently.
+		return Record{}
+	}
+}
+
+// validate rejects records that could not be replayed.
+func (r Record) validate() error {
+	switch r.Kind {
+	case KindSubmit, KindAssign, KindUnassign, KindComplete, KindExpire:
+		if r.Task == nil || r.Task.Task.ID == "" {
+			return fmt.Errorf("journal: %v record without task state", r.Kind)
+		}
+	case KindForget, KindFeedback:
+		if r.TaskID == "" {
+			return fmt.Errorf("journal: %v record without task id", r.Kind)
+		}
+	case KindAttach, KindDeregister:
+		if r.Worker == "" {
+			return fmt.Errorf("journal: %v record without worker id", r.Kind)
+		}
+	default:
+		return fmt.Errorf("journal: unknown record kind %d", int(r.Kind))
+	}
+	return nil
+}

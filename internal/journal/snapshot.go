@@ -1,0 +1,179 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"react/internal/taskq"
+)
+
+// Snapshot format: line-oriented JSON, so the file streams and diffs well
+// and the profile section can reuse profile.WriteSnapshot verbatim.
+//
+//	line 1                  header {v, seq, tasks, workers, stats}
+//	lines 2..1+tasks        one taskq.Record per line, sorted by task ID
+//	next `workers` lines    profile.Registry snapshot lines
+//	last line               trailer {"eof":true}
+//
+// The header's counts plus the trailer make truncation detectable: a
+// snapshot either reads back whole or recovery refuses it. Writes go
+// through a temp file, fsync, rename, and directory fsync, so a crash
+// mid-snapshot leaves the previous snapshot untouched.
+
+const snapshotVersion = 1
+
+type snapshotHeader struct {
+	V       int      `json:"v"`
+	Seq     uint64   `json:"seq"`
+	Tasks   int      `json:"tasks"`
+	Workers int      `json:"workers"`
+	Stats   Counters `json:"stats"`
+}
+
+type snapshotTrailer struct {
+	EOF bool `json:"eof"`
+}
+
+func snapshotName(seq uint64) string { return fmt.Sprintf("snapshot-%016x.snap", seq) }
+
+const snapshotTmp = "snapshot.tmp"
+
+// writeSnapshot persists st as the snapshot covering sequence numbers
+// 1..seq and returns the final path.
+func writeSnapshot(dir string, st *State, seq uint64) (string, error) {
+	ids := make([]string, 0, len(st.Tasks))
+	for id := range st.Tasks {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	hdr := snapshotHeader{
+		V:       snapshotVersion,
+		Seq:     seq,
+		Tasks:   len(ids),
+		Workers: st.Profiles.Size(),
+		Stats:   st.Stats,
+	}
+	//lint:ignore blockingunderlock encodes into the in-memory buffer above; flushMu is the compaction serializer and holding it across the offline rebuild is the design (docs/PERSISTENCE.md)
+	if err := enc.Encode(hdr); err != nil {
+		return "", fmt.Errorf("journal: encode snapshot header: %w", err)
+	}
+	for _, id := range ids {
+		rec := st.Tasks[id]
+		//lint:ignore blockingunderlock same in-memory buffer as the header encode
+		if err := enc.Encode(rec); err != nil {
+			return "", fmt.Errorf("journal: encode snapshot task %q: %w", id, err)
+		}
+	}
+	if err := st.Profiles.WriteSnapshot(&buf); err != nil {
+		return "", err
+	}
+	//lint:ignore blockingunderlock same in-memory buffer as the header encode
+	if err := enc.Encode(snapshotTrailer{EOF: true}); err != nil {
+		return "", fmt.Errorf("journal: encode snapshot trailer: %w", err)
+	}
+
+	tmp := filepath.Join(dir, snapshotTmp)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return "", fmt.Errorf("journal: create snapshot: %w", err)
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		f.Close()
+		return "", fmt.Errorf("journal: write snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return "", fmt.Errorf("journal: fsync snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return "", fmt.Errorf("journal: close snapshot: %w", err)
+	}
+	path := filepath.Join(dir, snapshotName(seq))
+	if err := os.Rename(tmp, path); err != nil {
+		return "", fmt.Errorf("journal: publish snapshot: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// readSnapshot loads a snapshot file, returning the rebuilt state and the
+// sequence boundary it covers. Any shortfall — wrong version, missing
+// lines, malformed records, absent trailer — is an error: a snapshot is
+// all-or-nothing.
+func readSnapshot(path string) (*State, uint64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("journal: read snapshot: %w", err)
+	}
+	lines := bytes.Split(raw, []byte("\n"))
+	// The file ends with a newline, so drop the final empty element.
+	if n := len(lines); n > 0 && len(lines[n-1]) == 0 {
+		lines = lines[:n-1]
+	}
+	if len(lines) < 2 {
+		return nil, 0, fmt.Errorf("journal: snapshot %s truncated", filepath.Base(path))
+	}
+	var hdr snapshotHeader
+	if err := json.Unmarshal(lines[0], &hdr); err != nil {
+		return nil, 0, fmt.Errorf("journal: snapshot %s header: %w", filepath.Base(path), err)
+	}
+	if hdr.V != snapshotVersion {
+		return nil, 0, fmt.Errorf("journal: snapshot %s has version %d, want %d", filepath.Base(path), hdr.V, snapshotVersion)
+	}
+	if want := 1 + hdr.Tasks + hdr.Workers + 1; len(lines) != want {
+		return nil, 0, fmt.Errorf("journal: snapshot %s has %d lines, header promises %d — truncated or damaged",
+			filepath.Base(path), len(lines), want)
+	}
+	var tr snapshotTrailer
+	if err := json.Unmarshal(lines[len(lines)-1], &tr); err != nil || !tr.EOF {
+		return nil, 0, fmt.Errorf("journal: snapshot %s missing eof trailer — truncated", filepath.Base(path))
+	}
+
+	st := NewState()
+	st.Stats = hdr.Stats
+	for i := 0; i < hdr.Tasks; i++ {
+		var rec taskq.Record
+		if err := json.Unmarshal(lines[1+i], &rec); err != nil {
+			return nil, 0, fmt.Errorf("journal: snapshot %s task line %d: %w", filepath.Base(path), i+1, err)
+		}
+		if rec.Task.ID == "" {
+			return nil, 0, fmt.Errorf("journal: snapshot %s task line %d has no id", filepath.Base(path), i+1)
+		}
+		if _, dup := st.Tasks[rec.Task.ID]; dup {
+			return nil, 0, fmt.Errorf("journal: snapshot %s repeats task %q", filepath.Base(path), rec.Task.ID)
+		}
+		st.Tasks[rec.Task.ID] = rec
+	}
+	workerLines := bytes.Join(lines[1+hdr.Tasks:1+hdr.Tasks+hdr.Workers], []byte("\n"))
+	restored, err := st.Profiles.ReadSnapshot(bytes.NewReader(workerLines))
+	if err != nil {
+		return nil, 0, fmt.Errorf("journal: snapshot %s: %w", filepath.Base(path), err)
+	}
+	if restored != hdr.Workers {
+		return nil, 0, fmt.Errorf("journal: snapshot %s restored %d workers, header promises %d",
+			filepath.Base(path), restored, hdr.Workers)
+	}
+	return st, hdr.Seq, nil
+}
+
+// syncDir fsyncs a directory so renames and unlinks within it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("journal: open dir for fsync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("journal: fsync dir: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package loadgen
+
+// Kill-recovery: the end-to-end durability gate. A real reactd process is
+// started with -data-dir, loaded over real TCP, and killed with SIGKILL —
+// no flush, no goodbye — in the middle of the run, twice. Each restart
+// must recover from the write-ahead journal on the same port and the run
+// must still end with zero unresolved tasks: completions that were
+// in flight die with the process, but the journal brings the tasks back,
+// the sweep returns them to the pool, and the resilient requester
+// reconciles or resubmits anything the crash window swallowed.
+//
+// The test needs a built binary, so it is gated on REACTD_BIN (set by
+// `make recovery`); without it the test skips and `go test ./...` stays
+// hermetic.
+
+import (
+	"net"
+	"os"
+	"os/exec"
+	"testing"
+	"time"
+)
+
+// startReactd launches the binary journaling into dataDir and waits until
+// it accepts connections on addr.
+func startReactd(t *testing.T, bin, addr, dataDir string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-addr", addr,
+		"-data-dir", dataDir,
+		"-fsync-interval", "5ms",
+		"-batch-bound", "3",
+		"-batch-period", "20ms",
+		"-monitor-period", "20ms",
+		"-stats-every", "0",
+	)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start %s: %v", bin, err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		c, err := net.DialTimeout("tcp", addr, 200*time.Millisecond)
+		if err == nil {
+			c.Close()
+			return cmd
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	cmd.Process.Kill()
+	cmd.Wait()
+	t.Fatalf("reactd never started listening on %s", addr)
+	return nil
+}
+
+func TestKillRecoveryZeroLostTasks(t *testing.T) {
+	bin := os.Getenv("REACTD_BIN")
+	if bin == "" {
+		t.Skip("REACTD_BIN not set; run via `make recovery`")
+	}
+
+	// Reserve a port so the restarted process can reuse the address the
+	// clients keep reconnecting to.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	dataDir := t.TempDir()
+	cmd := startReactd(t, bin, addr, dataDir)
+	t.Cleanup(func() {
+		if cmd != nil && cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+
+	const tasks = 45
+	kill := map[int]bool{tasks / 3: true, 2 * tasks / 3: true}
+	rep, err := Run(Config{
+		Addr:      addr,
+		Workers:   10,
+		Rate:      5,
+		Tasks:     tasks,
+		Seed:      11,
+		Compress:  100,
+		Resilient: true,
+		Logf:      t.Logf,
+		OnSubmit: func(n int) {
+			if !kill[n] {
+				return
+			}
+			// SIGKILL mid-batch: whatever sits in the group-commit buffer
+			// is lost, whatever was fsynced must come back.
+			if err := cmd.Process.Kill(); err != nil {
+				t.Errorf("kill: %v", err)
+				return
+			}
+			cmd.Wait()
+			t.Logf("killed reactd at task %d, restarting on %s", n, addr)
+			cmd = startReactd(t, bin, addr, dataDir)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Submitted != tasks {
+		t.Fatalf("submitted %d, want %d", rep.Submitted, tasks)
+	}
+	if rep.Unresolved != 0 {
+		t.Fatalf("%d tasks unresolved after kill/recovery: %+v", rep.Unresolved, rep)
+	}
+	if rep.Mismatched != 0 {
+		t.Fatalf("response correlation broke across restarts: %+v", rep)
+	}
+	if rep.Reconnects == 0 {
+		t.Fatalf("kills injected but no reconnects recorded: %+v", rep)
+	}
+	if rep.OnTime+rep.Late+rep.Expired != rep.Results {
+		t.Fatalf("result accounting broken: %+v", rep)
+	}
+	t.Logf("kill-recovery report: %+v", rep)
+}

@@ -79,6 +79,28 @@ var (
 	ErrPastDeadline  = errors.New("taskq: deadline not after submission")
 )
 
+// EventKind names a state mutation reported to the manager's sink.
+type EventKind uint8
+
+// The task-lifecycle mutations a sink observes. Every kind carries the
+// full post-mutation record, so a consumer can treat the stream as a
+// per-task sequence of states rather than reconstructing transitions.
+const (
+	EvSubmit EventKind = iota + 1
+	EvAssign
+	EvUnassign
+	EvComplete
+	EvExpire
+	EvForget
+)
+
+// Event is one observed mutation: the kind plus a copy of the record as it
+// stands after the mutation (for EvForget, as it stood just before removal).
+type Event struct {
+	Kind   EventKind
+	Record Record
+}
+
 // Manager is the Task Management Component. It is safe for concurrent use.
 type Manager struct {
 	clk     clock.Clock
@@ -89,11 +111,59 @@ type Manager struct {
 	// quantity that reveals batch-trigger starvation or matcher collapse
 	// on a dashboard long after the spike itself has drained.
 	unassignedHW int
+	// sink, when set, observes every lifecycle mutation. It is invoked
+	// while m.mu is held, which is what gives a write-ahead log its
+	// per-task total order: no second mutation of the same task can start
+	// until the sink has sequenced the first. Implementations must be
+	// fast, must not block, and must not call back into the manager.
+	sink func(Event)
 }
 
 // NewManager creates a manager reading time from clk.
 func NewManager(clk clock.Clock) *Manager {
 	return &Manager{clk: clk, records: make(map[string]*Record)}
+}
+
+// SetSink installs the mutation observer (see Event). It must be set
+// before traffic: the manager does not synchronize sink replacement with
+// in-flight operations beyond its own mutex.
+func (m *Manager) SetSink(fn func(Event)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sink = fn
+}
+
+// emit reports a mutation to the sink. Callers hold m.mu.
+func (m *Manager) emit(kind EventKind, r *Record) {
+	if m.sink != nil {
+		m.sink(Event{Kind: kind, Record: *r})
+	}
+}
+
+// Restore inserts a record verbatim — status, worker, timestamps, attempt
+// and grading state — as recovery bulk-loads a journal snapshot into a
+// fresh manager. It bypasses the lifecycle checks Submit enforces (a
+// restored record may already be terminal) and emits no sink event: the
+// journal already holds this state.
+func (m *Manager) Restore(r Record) error {
+	if r.Task.ID == "" {
+		return fmt.Errorf("%w: restore with empty id", ErrUnknownTask)
+	}
+	if r.Status < Unassigned || r.Status > Expired {
+		return fmt.Errorf("%w: restore %q with status %d", ErrBadState, r.Task.ID, int(r.Status))
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.records[r.Task.ID]; dup {
+		return fmt.Errorf("%w: %q", ErrDuplicateTask, r.Task.ID)
+	}
+	rec := r
+	m.records[r.Task.ID] = &rec
+	m.counts[r.Status]++
+	if m.counts[Unassigned] > m.unassignedHW {
+		m.unassignedHW = m.counts[Unassigned]
+	}
+	return nil
 }
 
 // Submit registers a new unassigned task. The task's Submitted field is
@@ -109,11 +179,13 @@ func (m *Manager) Submit(t Task) error {
 		return fmt.Errorf("%w: %q", ErrDuplicateTask, t.ID)
 	}
 	t.Submitted = now
-	m.records[t.ID] = &Record{Task: t, Status: Unassigned}
+	r := &Record{Task: t, Status: Unassigned}
+	m.records[t.ID] = r
 	m.counts[Unassigned]++
 	if m.counts[Unassigned] > m.unassignedHW {
 		m.unassignedHW = m.counts[Unassigned]
 	}
+	m.emit(EvSubmit, r)
 	return nil
 }
 
@@ -171,6 +243,7 @@ func (m *Manager) Assign(taskID, workerID string) error {
 	r.Worker = workerID
 	r.AssignedAt = m.clk.Now()
 	r.Attempts++
+	m.emit(EvAssign, r)
 	return nil
 }
 
@@ -190,6 +263,7 @@ func (m *Manager) Unassign(taskID string) error {
 	m.transition(r, Unassigned)
 	r.Worker = ""
 	r.AssignedAt = time.Time{}
+	m.emit(EvUnassign, r)
 	return nil
 }
 
@@ -207,6 +281,7 @@ func (m *Manager) Complete(taskID string) (Record, error) {
 	}
 	m.transition(r, Completed)
 	r.FinishedAt = m.clk.Now()
+	m.emit(EvComplete, r)
 	return *r, nil
 }
 
@@ -241,6 +316,7 @@ func (m *Manager) expire(includeAssigned bool) []Record {
 		}
 		m.transition(r, Expired)
 		r.FinishedAt = now
+		m.emit(EvExpire, r)
 		out = append(out, *r)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Task.ID < out[j].Task.ID })
@@ -316,6 +392,7 @@ func (m *Manager) Forget(taskID string) error {
 	}
 	m.counts[r.Status]--
 	delete(m.records, taskID)
+	m.emit(EvForget, r)
 	return nil
 }
 
@@ -355,6 +432,7 @@ func (m *Manager) ForgetTerminatedBefore(cutoff time.Time) int {
 		if r.FinishedAt.Before(cutoff) {
 			m.counts[r.Status]--
 			delete(m.records, id)
+			m.emit(EvForget, r)
 			removed++
 		}
 	}

@@ -7,7 +7,6 @@ package wire
 // deadline actually deliver the resilience they promise.
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
 	"testing"
@@ -15,6 +14,7 @@ import (
 
 	"react/internal/core"
 	"react/internal/faultnet"
+	"react/internal/journal"
 	"react/internal/schedule"
 )
 
@@ -101,12 +101,20 @@ func TestChaosSeqCorrelationAfterTimeout(t *testing.T) {
 }
 
 // TestChaosServerRestartZeroLostTasks runs a worker and a requester
-// through the proxy, restarts the server under them (new port, profiles
-// restored from a snapshot — the reactd deployment cycle), retargets the
-// proxy, and requires every task from both halves of the run to complete
-// with the worker's learned history intact.
+// through the proxy, restarts the server under them (new port, state
+// recovered from the write-ahead journal — the reactd crash/deploy
+// cycle), retargets the proxy, and requires every task from both halves
+// of the run to complete with the worker's learned history intact.
+// Tasks submitted just before the restart are still in flight when the
+// first server stops; recovery must return them to the pool so the
+// second half resolves them.
 func TestChaosServerRestartZeroLostTasks(t *testing.T) {
-	s1, err := Serve("127.0.0.1:0", fastOptions())
+	dataDir := t.TempDir()
+	store1, err := journal.Open(journal.Options{Dir: dataDir, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, _, err := ServeDurable("127.0.0.1:0", fastOptions(), store1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,24 +164,68 @@ func TestChaosServerRestartZeroLostTasks(t *testing.T) {
 
 	runBatch([]string{"t1", "t2", "t3", "t4"})
 
-	// Restart: snapshot profiles, kill the server, bring up a new one on a
-	// different port, restore, retarget the proxy.
-	var snap bytes.Buffer
-	if err := s1.Core().SaveProfiles(&snap); err != nil {
+	// Submit the next batch and stop the server before waiting on it: these
+	// tasks are in flight — some assigned, some still pooled — when the
+	// journal takes its final flush and the process "dies".
+	inflight := []string{"t5", "t6", "t7", "t8"}
+	for _, id := range inflight {
+		if err := requester.Submit(testTask(id)); err != nil {
+			t.Fatalf("submit %s: %v", id, err)
+		}
+	}
+
+	// Restart: stop the server (flush-before-shutdown closes the journal),
+	// recover a new one on a different port from the same data dir, and
+	// retarget the proxy. No profile snapshot/restore hack: the worker's
+	// history and every task come back from the write-ahead log.
+	s1.Close()
+	store2, err := journal.Open(journal.Options{Dir: dataDir, Logf: t.Logf})
+	if err != nil {
 		t.Fatal(err)
 	}
-	s1.Close()
-	s2, err := Serve("127.0.0.1:0", fastOptions())
+	s2, sum, err := ServeDurable("127.0.0.1:0", fastOptions(), store2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { s2.Close() })
-	if n, err := s2.Core().LoadProfiles(&snap); err != nil || n != 1 {
-		t.Fatalf("restored %d profiles, err %v", n, err)
+	if sum.Workers != 1 {
+		t.Fatalf("recovered %d workers, want 1", sum.Workers)
+	}
+	if sum.Tasks < len(inflight) {
+		t.Fatalf("recovered %d tasks, want at least the in-flight batch of %d",
+			sum.Tasks, len(inflight))
 	}
 	p.SetTarget(s2.Addr())
 
-	runBatch([]string{"t5", "t6", "t7", "t8"})
+	// Resolve the in-flight batch: by result push when the re-established
+	// watch catches it, by status query when the push was lost to the
+	// restart outage.
+	pending := make(map[string]bool, len(inflight))
+	for _, id := range inflight {
+		pending[id] = true
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for len(pending) > 0 && time.Now().Before(deadline) {
+		select {
+		case r := <-requester.Results():
+			delete(pending, r.TaskID)
+		case <-time.After(200 * time.Millisecond):
+			for id := range pending {
+				st, err := requester.TaskStatus(id)
+				if err != nil {
+					continue
+				}
+				if st.State == "completed" || st.State == "expired" {
+					delete(pending, id)
+				}
+			}
+		}
+	}
+	if len(pending) > 0 {
+		t.Fatalf("in-flight tasks lost across restart: %v", pending)
+	}
+
+	runBatch([]string{"t9", "t10", "t11", "t12"})
 
 	if worker.Reconnects() < 1 || requester.Reconnects() < 1 {
 		t.Fatalf("reconnects: worker=%d requester=%d",
@@ -183,8 +235,8 @@ func TestChaosServerRestartZeroLostTasks(t *testing.T) {
 	if !ok {
 		t.Fatal("profile lost across restart")
 	}
-	if prof.Finished() != 8 {
-		t.Fatalf("history across restart: finished = %d, want 8", prof.Finished())
+	if prof.Finished() < 8 {
+		t.Fatalf("history across restart: finished = %d, want >= 8", prof.Finished())
 	}
 	if m := requester.Metrics(); m.MismatchedResponses != 0 {
 		t.Fatalf("requester mismatches: %+v", m)

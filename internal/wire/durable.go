@@ -1,0 +1,39 @@
+package wire
+
+import (
+	"react/internal/core"
+	"react/internal/journal"
+)
+
+// ServeDurable is Serve with crash recovery: the journal store's
+// recovered state is bulk-loaded into the fresh region server before it
+// starts, every subsequent mutation is write-ahead journaled, and Close
+// flushes the journal after the last connection drains. The returned
+// summary says what was recovered, for startup logs.
+//
+// The store must come straight from journal.Open — its recovered state is
+// consumed here. On error the store is left open; the caller owns closing
+// it.
+func ServeDurable(addr string, opts core.Options, store *journal.Store) (*Server, journal.Summary, error) {
+	var relay ResultRelay
+	userHook := opts.OnResult
+	opts.OnResult = func(r core.Result) {
+		if userHook != nil {
+			userHook(r)
+		}
+		relay.Publish(r)
+	}
+	cs := core.New(opts)
+	sum, err := cs.EnablePersistence(store)
+	if err != nil {
+		return nil, sum, err
+	}
+	cs.Start()
+	s, err := ServeBackend(addr, cs, &relay)
+	if err != nil {
+		cs.Stop() // closes the journal store too
+		return nil, sum, err
+	}
+	s.core = cs
+	return s, sum, nil
+}

@@ -83,6 +83,15 @@ func (q *pushQueue[T]) close() {
 	case q.wake <- struct{}{}:
 	default:
 	}
+	// Retract a delivery the pump may already be parked on: without this, a
+	// consumer arriving after close() could still rendezvous with that
+	// parked send and receive one more item. The steal pairs with the
+	// parked send — dropping the item, which belonged to this dead
+	// connection — or takes the default when no send is pending.
+	select {
+	case <-q.out:
+	default:
+	}
 }
 
 func (q *pushQueue[T]) pump() {
@@ -99,6 +108,16 @@ func (q *pushQueue[T]) pump() {
 				return
 			}
 			continue
+		}
+		// Check dead with priority before offering the item: when close()
+		// landed while the item was being popped, the send and the abort
+		// below are both ready and select picks randomly — without this
+		// check the pump could hand a consumer one more item after
+		// close(), violating the "delivers nothing further" contract.
+		select {
+		case <-q.dead:
+			return
+		default:
 		}
 		select {
 		case q.out <- v:
