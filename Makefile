@@ -3,12 +3,13 @@
 GO ?= go
 # Packages with real goroutine concurrency; the race detector gates them
 # on every change.
-RACE_PKGS = ./internal/engine ./internal/core ./internal/wire ./internal/federation ./internal/taskq ./internal/faultnet ./internal/obs ./internal/journal
+RACE_PKGS = ./internal/engine ./internal/core ./internal/wire ./internal/federation ./internal/taskq ./internal/faultnet ./internal/obs ./internal/journal ./internal/event ./internal/trace
 # Packages whose statement coverage must not fall below COVER_FLOOR; the
 # scheduling engine and the metrics layer are the paper's core claims,
-# the linter is the gate everything else leans on, and the journal is
-# what crash recovery trusts.
-COVER_PKGS = internal/engine internal/metrics internal/lint internal/journal
+# the linter is the gate everything else leans on, the journal is what
+# crash recovery trusts, and the event spine is what every consumer of
+# lifecycle state (journal, trace, obs, wire) now rides on.
+COVER_PKGS = internal/engine internal/metrics internal/lint internal/journal internal/event internal/trace
 COVER_FLOOR = 70
 
 .PHONY: all build lint lint-typed lockorder lockorder-check vet test race chaos recovery determinism bench coverage ci

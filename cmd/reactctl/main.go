@@ -7,14 +7,18 @@
 //	reactctl -addr localhost:7341 task -id t1
 //	reactctl -addr localhost:7341 work -id alice -min 1s -max 5s -quality 0.9
 //	reactctl -addr localhost:7341 watch
+//	reactctl -addr localhost:7341 tail -id t1
 //	reactctl top -obs localhost:9090
 //
 // "work" emulates a crowd worker with the §V.C behaviour model: it
 // registers, receives assignments, works for a random time inside its band
 // (occasionally delaying), and submits an answer. "watch" streams every
 // task result and grades it with positive feedback when it met the
-// deadline. "top" scrapes a reactd observability plane (-http) and renders
-// the /statusz snapshot; it talks HTTP, not the wire protocol.
+// deadline. "tail" streams the engine's lifecycle event spine — one row
+// per submit/assign/revoke/complete/expire/forget transition; with -id it
+// follows a single task and exits at its terminal event. "top" scrapes a
+// reactd observability plane (-http) and renders the /statusz snapshot; it
+// talks HTTP, not the wire protocol.
 //
 // Exit status: 0 on success, 1 when the server reported an error or a
 // streaming connection was lost, 2 on usage errors.
@@ -69,6 +73,8 @@ func main() {
 		err = runWork(client, args)
 	case "watch":
 		err = runWatch(client)
+	case "tail":
+		err = runTail(client, args)
 	default:
 		usage()
 	}
@@ -79,7 +85,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: reactctl [-addr host:port] {stats|regions|submit|task|work|watch|top} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: reactctl [-addr host:port] {stats|regions|submit|task|work|watch|tail|top} [flags]")
 	os.Exit(2)
 }
 
@@ -197,6 +203,48 @@ func runWork(c *wire.Client, args []string) error {
 	// The assignment stream only closes when the connection dies; a worker
 	// that stops serving by accident must not report success.
 	return fmt.Errorf("work: connection to server lost")
+}
+
+// runTail streams the engine's lifecycle event spine. With -id it follows
+// one task's timeline and exits 0 at its terminal event (complete, expire,
+// or forget); without it the stream runs until the connection drops.
+func runTail(c *wire.Client, args []string) error {
+	fs := flag.NewFlagSet("tail", flag.ExitOnError)
+	id := fs.String("id", "", "task id (empty streams every task)")
+	fs.Parse(args)
+	if err := c.WatchEvents(*id); err != nil {
+		return err
+	}
+	if *id != "" {
+		log.Printf("tailing task %s (exits at its terminal event)", *id)
+	} else {
+		log.Print("tailing all lifecycle events (ctrl-c to stop)")
+	}
+	fmt.Printf("%-8s %-21s %-9s %-16s %-12s %s\n",
+		"seq", "at", "kind", "task", "worker", "detail")
+	for ev := range c.Events() {
+		detail := ev.Cause
+		switch {
+		case ev.Probability > 0:
+			detail = fmt.Sprintf("%s p=%.3f", ev.Cause, ev.Probability)
+		case ev.Kind == "complete":
+			if ev.MetDeadline {
+				detail = "on-time"
+			} else {
+				detail = "late"
+			}
+			if ev.Attempts > 1 {
+				detail += fmt.Sprintf(" attempts=%d", ev.Attempts)
+			}
+		}
+		fmt.Printf("%-8d %-21s %-9s %-16s %-12s %s\n",
+			ev.Seq, time.UnixMilli(ev.AtUnixMS).Format("15:04:05.000"),
+			ev.Kind, ev.TaskID, ev.Worker, detail)
+		if *id != "" && ev.Terminal() {
+			return nil
+		}
+	}
+	return fmt.Errorf("tail: connection to server lost")
 }
 
 func runWatch(c *wire.Client) error {

@@ -34,6 +34,7 @@ import (
 	"react/internal/clock"
 	"react/internal/core"
 	"react/internal/engine"
+	"react/internal/event"
 	"react/internal/federation"
 	"react/internal/journal"
 	"react/internal/matching"
@@ -41,6 +42,8 @@ import (
 	"react/internal/obs"
 	"react/internal/region"
 	"react/internal/schedule"
+	"react/internal/taskq"
+	"react/internal/trace"
 	"react/internal/wire"
 )
 
@@ -52,19 +55,27 @@ type obsWiring struct {
 	regions obs.RegionSet
 }
 
-// hookCollector chains a fresh collector into the core options' engine
-// hooks; register publishes it once the region server exists.
-func hookCollector(opts *core.Options) *obs.EngineCollector {
-	col := obs.NewEngineCollector()
-	prevReassign := opts.OnReassign
-	opts.OnReassign = func(taskID, workerID string, p float64) {
-		col.OnReassign(taskID, workerID, p)
-		if prevReassign != nil {
-			prevReassign(taskID, workerID, p)
+// watchEq2 logs the Eq. 2 monitor's revocations from a bounded
+// event-spine subscription, off the engine's tick goroutines. The
+// subscription lives for the process; a logging stall beyond the buffer
+// drops log lines, never scheduling work.
+func watchEq2(eng *engine.Engine) {
+	sub := eng.Events().Subscribe(256, func(ev event.Event) bool {
+		return ev.Kind == event.KindRevoke && ev.Cause == taskq.CauseEq2
+	})
+	go func() {
+		for ev := range sub.C() {
+			log.Printf("reassign task=%s worker=%s eq2=%.3f", ev.Task, ev.Worker, ev.Prob)
 		}
-	}
-	opts.OnBatch = col.OnBatch
-	return col
+	}()
+}
+
+// attachCollector wires a fresh collector onto an engine's event spine
+// and publishes its series and statusz row.
+func (ow *obsWiring) attachCollector(regionID string, eng *engine.Engine) {
+	col := obs.NewEngineCollector()
+	col.Attach(eng)
+	ow.register(col, regionID, eng)
 }
 
 // register publishes one engine's series and statusz row.
@@ -97,6 +108,7 @@ func main() {
 	idleTimeout := flag.Duration("idle-timeout", wire.DefaultIdleTimeout, "drop connections silent for this long (0 disables); clients keepalive-ping well under it")
 	shards := flag.Int("shards", 0, "task-bookkeeping stripes in the scheduling engine (0 = GOMAXPROCS)")
 	httpAddr := flag.String("http", "", "observability plane listen address (e.g. :9090); empty disables /metrics, /statusz, /debug/pprof")
+	traceCap := flag.Int("trace-cap", 65536, "lifecycle events retained for /trace.csv (0 disables; needs -http, single-region mode)")
 	flag.Parse()
 
 	var matcher matching.Matcher
@@ -126,9 +138,6 @@ func main() {
 			BatchPeriod:   *batchPeriod,
 			EdgeProbBound: *probBound,
 		},
-		OnReassign: func(taskID, workerID string, p float64) {
-			log.Printf("reassign task=%s worker=%s eq2=%.3f", taskID, workerID, p)
-		},
 	}
 	opts.Monitor.Threshold = *threshold
 
@@ -139,6 +148,7 @@ func main() {
 
 	var srv *wire.Server
 	var store *journal.Store
+	var traceRec *trace.Recorder
 	var err error
 	if *grid != "" {
 		srv, err = serveGrid(*addr, *grid, *area, opts, ow)
@@ -151,10 +161,6 @@ func main() {
 			*dataDir = ""
 		}
 	} else {
-		var col *obs.EngineCollector
-		if ow != nil {
-			col = hookCollector(&opts)
-		}
 		if *dataDir != "" {
 			// The journal subsumes the profile snapshot: it recovers
 			// profiles and tasks and counters, continuously.
@@ -180,8 +186,16 @@ func main() {
 		} else {
 			srv, err = wire.Serve(*addr, opts)
 		}
-		if err == nil && ow != nil {
-			ow.register(col, "all", srv.Core().Engine())
+		if err == nil {
+			eng := srv.Core().Engine()
+			watchEq2(eng)
+			if ow != nil {
+				ow.attachCollector("all", eng)
+				if *traceCap > 0 {
+					traceRec = trace.NewBounded(*traceCap)
+					eng.Events().Tap(traceRec.Handle)
+				}
+			}
 		}
 	}
 	if err != nil {
@@ -204,12 +218,13 @@ func main() {
 			Clock:    clock.System{},
 			Registry: ow.reg,
 			Regions:  ow.regions.Snapshot,
+			Trace:    traceRec,
 			Logf:     log.Printf,
 		})
 		if err := plane.Start(*httpAddr); err != nil {
 			log.Fatalf("reactd: %v", err)
 		}
-		log.Printf("reactd: observability plane on http://%s (/metrics /statusz /debug/pprof/)", plane.Addr())
+		log.Printf("reactd: observability plane on http://%s (/metrics /statusz /trace.csv /debug/pprof/)", plane.Addr())
 	}
 
 	if *profiles != "" && srv.Core() != nil {
@@ -290,15 +305,13 @@ func serveGrid(addr, gridSpec, areaSpec string, opts core.Options, ow *obsWiring
 	}
 	coord := federation.New(g, func(regionID string) *core.Server {
 		log.Printf("reactd: starting region server %s", regionID)
-		if ow == nil {
-			return core.New(regionOpts)
+		s := core.New(regionOpts)
+		watchEq2(s.Engine())
+		if ow != nil {
+			// Each region gets its own collector so the shared registry
+			// carries one series set per region label.
+			ow.attachCollector(regionID, s.Engine())
 		}
-		// Each region gets its own collector so the shared registry
-		// carries one series set per region label.
-		ropts := regionOpts
-		col := hookCollector(&ropts)
-		s := core.New(ropts)
-		ow.register(col, regionID, s.Engine())
 		return s
 	})
 	return wire.ServeBackend(addr, coord, &relay)

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"react/internal/engine"
+	"react/internal/event"
 	"react/internal/journal"
 	"react/internal/region"
 	"react/internal/taskq"
@@ -53,13 +54,17 @@ func (s *Server) EnablePersistence(store *journal.Store) (journal.Summary, error
 		}
 	}
 
-	// Journal from here on. Append never blocks (it only buffers), so it
-	// is safe under the shard lock the sink fires beneath. Errors are not
-	// actionable here: the store has already logged its sticky failure,
-	// and a dead disk must degrade durability, not availability.
+	// Journal from here on, as a synchronous tap on the event spine: taps
+	// fire under the shard lock, so the WAL inherits the per-task total
+	// order, and Append never blocks (it only buffers), so holding that
+	// lock is safe. Errors are not actionable here: the store has already
+	// logged its sticky failure, and a dead disk must degrade durability,
+	// not availability.
 	s.store = store
-	s.eng.Tasks().SetSink(func(ev taskq.Event) {
-		_ = store.Append(journal.TaskRecord(ev))
+	s.eng.Events().Tap(func(ev event.Event) {
+		if rec, ok := journal.FromEvent(ev); ok {
+			_ = store.Append(rec)
+		}
 	})
 
 	// Sweep orphaned assignments back to the pool — journaled through the
@@ -67,7 +72,7 @@ func (s *Server) EnablePersistence(store *journal.Store) (journal.Summary, error
 	// reassignments (the same accounting a worker disconnect gets).
 	swept := int64(0)
 	for _, rec := range s.eng.Tasks().AssignedTasks() {
-		if err := s.eng.Tasks().Unassign(rec.Task.ID); err != nil {
+		if err := s.eng.Tasks().Unassign(rec.Task.ID, taskq.CauseRecoverySweep, 0); err != nil {
 			return sum, fmt.Errorf("core: return recovered task %q to pool: %w", rec.Task.ID, err)
 		}
 		swept++

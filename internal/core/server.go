@@ -21,6 +21,7 @@ import (
 	"react/internal/clock"
 	"react/internal/dynassign"
 	"react/internal/engine"
+	"react/internal/event"
 	"react/internal/journal"
 	"react/internal/matching"
 	"react/internal/profile"
@@ -48,17 +49,13 @@ type Options struct {
 	Shards        int           // task/feed bookkeeping stripes (default GOMAXPROCS)
 
 	// OnResult, if set, is invoked for every terminating task (completion
-	// or expiry). Called from server goroutines; implementations must not
-	// block.
+	// or expiry). Completions call it inline from Complete; expiries are
+	// pumped from a bounded event-spine subscription by a server
+	// goroutine, so a burst beyond the buffer drops notifications rather
+	// than stalling the expiry tick (requesters reconcile via TaskStatus).
+	// Implementations must not block. Richer observation — revocations,
+	// batch summaries, full timelines — subscribes to Events() directly.
 	OnResult func(Result)
-	// OnReassign, if set, is invoked when the monitor revokes an
-	// assignment.
-	OnReassign func(taskID, workerID string, probability float64)
-	// OnBatch, if set, is invoked once per scheduling round with the
-	// round's shape and timings (graph size, pruning, matcher wall time) —
-	// the hook the observability plane feeds its latency histograms from.
-	// Called from server goroutines; implementations must not block.
-	OnBatch func(engine.BatchInfo)
 
 	// Retention bounds how long terminal task records are kept for late
 	// Feedback and diagnostics before being garbage-collected. Zero keeps
@@ -112,10 +109,11 @@ type Stats struct {
 // Server is one REACT region server: the shared scheduling engine plus the
 // live-deployment shell (ticker goroutines, channel feeds).
 type Server struct {
-	opts  Options
-	eng   *engine.Engine
-	feeds feedTable
-	store *journal.Store // non-nil once EnablePersistence ran
+	opts      Options
+	eng       *engine.Engine
+	feeds     feedTable
+	store     *journal.Store      // non-nil once EnablePersistence ran
+	expireSub *event.Subscription // non-nil once Start ran with OnResult set
 
 	mu     sync.Mutex // guards closed (feeds shard their own locks)
 	stop   chan struct{}
@@ -139,19 +137,14 @@ func New(opts Options) *Server {
 		Retention: opts.Retention,
 	}, engine.Hooks{
 		Deliver: s.deliver,
-		OnExpire: func(rec taskq.Record) {
-			if opts.OnResult != nil {
-				opts.OnResult(Result{
-					TaskID: rec.Task.ID, FinishedAt: rec.FinishedAt, Expired: true,
-				})
-			}
-		},
-		OnReassign: opts.OnReassign,
-		OnBatch:    opts.OnBatch,
 	})
 	s.feeds.init(s.eng.Tasks().Shards())
 	return s
 }
+
+// Events exposes the engine's lifecycle event spine — the wire layer's
+// watch-events stream and the observability collectors feed from it.
+func (s *Server) Events() *event.Bus { return s.eng.Events() }
 
 // Workers exposes the profiling component (read-mostly; used by tools).
 func (s *Server) Workers() *profile.Registry { return s.eng.Workers() }
@@ -166,11 +159,36 @@ func (s *Server) Tasks() *engine.TaskStore { return s.eng.Tasks() }
 // Engine exposes the shared scheduling engine itself.
 func (s *Server) Engine() *engine.Engine { return s.eng }
 
-// Start launches the batch and monitor loops.
+// Start launches the batch and monitor loops, plus the expiry-result
+// pump when OnResult is set.
 func (s *Server) Start() {
+	if s.opts.OnResult != nil {
+		sub := s.eng.Events().Subscribe(expirePumpDepth, func(ev event.Event) bool {
+			return ev.Kind == event.KindExpire
+		})
+		s.expireSub = sub
+		s.wg.Add(1)
+		go s.expirePump(sub)
+	}
 	s.wg.Add(2)
 	go s.batchLoop()
 	go s.monitorLoop()
+}
+
+// expirePumpDepth bounds the expiry-notification backlog. A tick that
+// expires more tasks than this while the pump is behind drops the
+// overflow (counted on the subscription) instead of blocking the engine.
+const expirePumpDepth = 1024
+
+// expirePump forwards expiry events to the requester-facing OnResult
+// callback, off the engine's tick goroutine.
+func (s *Server) expirePump(sub *event.Subscription) {
+	defer s.wg.Done()
+	for ev := range sub.C() {
+		s.opts.OnResult(Result{
+			TaskID: ev.Task, FinishedAt: ev.Record.FinishedAt, Expired: true,
+		})
+	}
 }
 
 // Stop terminates the loops, closes every worker feed, and — when
@@ -186,6 +204,9 @@ func (s *Server) Stop() {
 	s.closed = true
 	close(s.stop)
 	s.mu.Unlock()
+	if s.expireSub != nil {
+		s.expireSub.Close() // ends the expiry pump's range
+	}
 	s.wg.Wait()
 	s.feeds.closeAll()
 	if s.store != nil {

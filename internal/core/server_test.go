@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"react/internal/dynassign"
+	"react/internal/event"
 	"react/internal/region"
 	"react/internal/schedule"
 	"react/internal/taskq"
@@ -204,8 +205,16 @@ func TestMonitorReassignsFromDelayedWorker(t *testing.T) {
 	// Monitor with tight threshold; worker history says tasks take ~50ms,
 	// so holding one for >1s collapses Eq. 2.
 	opts.Monitor = dynassign.Monitor{Threshold: 0.5, MinHistory: 3}
-	opts.OnReassign = func(taskID, workerID string, p float64) { reassigned.Add(1) }
 	s := New(opts)
+	sub := s.Events().Subscribe(16, func(ev event.Event) bool {
+		return ev.Kind == event.KindRevoke && ev.Cause == taskq.CauseEq2
+	})
+	defer sub.Close()
+	go func() {
+		for range sub.C() {
+			reassigned.Add(1)
+		}
+	}()
 	s.Start()
 	defer s.Stop()
 

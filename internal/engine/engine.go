@@ -37,6 +37,7 @@ import (
 
 	"react/internal/clock"
 	"react/internal/dynassign"
+	"react/internal/event"
 	"react/internal/matching"
 	"react/internal/profile"
 	"react/internal/region"
@@ -67,37 +68,16 @@ type Result struct {
 	Expired     bool
 }
 
-// BatchInfo describes one completed scheduling round for the OnBatch hook.
-type BatchInfo struct {
-	Workers      int           // available workers in the snapshot
-	Tasks        int           // unassigned tasks in the snapshot
-	Edges        int           // edges instantiated by Eq. 3 construction
-	PrunedProb   int           // edges dropped by the probability bound
-	PrunedReward int           // edges dropped by the reward-range filter
-	Cycles       int           // matcher iterations consumed
-	Assignments  int           // bindings the matcher proposed
-	Elapsed      time.Duration // measured matcher wall time
-	Latency      time.Duration // modelled latency charged via Config.Defer (0 live)
-}
-
-// Hooks are the engine's observation and transport points. All hooks are
-// optional; they are invoked synchronously from whichever call drove the
-// engine, so implementations must not block and must not re-enter TryBatch.
+// Hooks is the engine's transport seam. Observation moved to the event
+// spine (Events); the only hook left is the delivery path, which is
+// load-bearing — its return value decides whether a binding sticks.
 type Hooks struct {
 	// Deliver hands a freshly applied assignment to the transport. Returning
 	// false (worker unreachable, feed full) makes the engine revoke the
 	// binding: the task returns to the pool and the worker is marked idle.
-	// A nil Deliver accepts every assignment.
+	// A nil Deliver accepts every assignment. Deliver is invoked with no
+	// engine lock held and must not re-enter TryBatch.
 	Deliver func(Assignment) bool
-	// OnAssign fires after an assignment is applied and delivered.
-	OnAssign func(Assignment)
-	// OnReassign fires when the Eq. 2 monitor (or a worker detach) revokes
-	// an assignment. probability is the Eq. 2 value (0 for detaches).
-	OnReassign func(taskID, workerID string, probability float64)
-	// OnExpire fires for every task that leaves the repository unserved.
-	OnExpire func(rec taskq.Record)
-	// OnBatch fires once per scheduling round, before assignments apply.
-	OnBatch func(BatchInfo)
 }
 
 // Config parameterizes an Engine. Zero fields take the paper's defaults.
@@ -181,6 +161,7 @@ type Engine struct {
 	hooks   Hooks
 	workers *profile.Registry
 	tasks   *TaskStore
+	bus     *event.Bus
 
 	// batchMu serializes the trigger check and the scheduling round
 	// (planBatch). inFlight is set from the moment a round is planned
@@ -198,13 +179,22 @@ type Engine struct {
 // (the trigger's last run is backdated one period).
 func New(cfg Config, hooks Hooks) *Engine {
 	cfg = cfg.normalize()
-	return &Engine{
+	e := &Engine{
 		cfg:     cfg,
 		hooks:   hooks,
 		workers: profile.NewRegistry(),
 		tasks:   NewTaskStore(cfg.Clock, cfg.Shards),
+		bus:     event.NewBus(),
 		trigger: schedule.NewTrigger(cfg.Schedule, cfg.Clock.Now()),
 	}
+	// Lifecycle events flow shard sink → spine bus. The sink fires under
+	// the shard's lock, so the bus stamps Seq before any second mutation
+	// of the same task can start — the per-task total order every spine
+	// consumer relies on.
+	e.tasks.setSink(func(tev taskq.Event) {
+		e.bus.Publish(event.FromTask(tev))
+	})
+	return e
 }
 
 // Workers exposes the profiling component.
@@ -212,6 +202,11 @@ func (e *Engine) Workers() *profile.Registry { return e.workers }
 
 // Tasks exposes the sharded task-management component.
 func (e *Engine) Tasks() *TaskStore { return e.tasks }
+
+// Events exposes the lifecycle event spine. Taps run under the shard
+// locks (lossless, ordered); subscriptions are bounded and lossy. See
+// the event package contract before choosing.
+func (e *Engine) Events() *event.Bus { return e.bus }
 
 // Submit places a task into the system.
 func (e *Engine) Submit(t taskq.Task) error {
@@ -247,11 +242,8 @@ func (e *Engine) DetachWorker(id string) error {
 		return fmt.Errorf("%w: %q", profile.ErrUnknownWorker, id)
 	}
 	if taskID := p.CurrentTask(); taskID != "" {
-		if err := e.tasks.Unassign(taskID); err == nil {
+		if err := e.tasks.Unassign(taskID, taskq.CauseDetach, 0); err == nil {
 			e.ctr.reassigned.Add(1)
-			if e.hooks.OnReassign != nil {
-				e.hooks.OnReassign(taskID, id, 0)
-			}
 		}
 		p.MarkIdle()
 	}
@@ -267,7 +259,7 @@ func (e *Engine) DeregisterWorker(id string) error {
 		return fmt.Errorf("%w: %q", profile.ErrUnknownWorker, id)
 	}
 	if taskID := p.CurrentTask(); taskID != "" {
-		if err := e.tasks.Unassign(taskID); err == nil {
+		if err := e.tasks.Unassign(taskID, taskq.CauseDeregister, 0); err == nil {
 			e.ctr.reassigned.Add(1)
 		}
 	}
@@ -381,15 +373,13 @@ func (e *Engine) TickRetention() {
 	e.tasks.ForgetTerminatedBefore(e.cfg.Clock.Now().Add(-e.cfg.Retention))
 }
 
-// TickExpiry expires every overdue task still waiting in the pool,
-// counting each and notifying OnExpire. Tasks already in a worker's hands
-// run to (possibly late) completion — the paper's soft-deadline policy.
+// TickExpiry expires every overdue task still waiting in the pool. Each
+// expiry lands on the event spine as a KindExpire event. Tasks already
+// in a worker's hands run to (possibly late) completion — the paper's
+// soft-deadline policy.
 func (e *Engine) TickExpiry() {
-	for _, rec := range e.tasks.ExpireUnassigned() {
+	for range e.tasks.ExpireUnassigned() {
 		e.ctr.expired.Add(1)
-		if e.hooks.OnExpire != nil {
-			e.hooks.OnExpire(rec)
-		}
 	}
 }
 
@@ -397,11 +387,8 @@ func (e *Engine) TickExpiry() {
 // end-of-run accounting sweep the experiments harness performs after the
 // drain window.
 func (e *Engine) ExpireAllDue() {
-	for _, rec := range e.tasks.ExpireDue() {
+	for range e.tasks.ExpireDue() {
 		e.ctr.expired.Add(1)
-		if e.hooks.OnExpire != nil {
-			e.hooks.OnExpire(rec)
-		}
 	}
 }
 
@@ -414,15 +401,12 @@ func (e *Engine) TickMonitor() {
 		if !d.Reassign {
 			continue
 		}
-		if err := e.tasks.Unassign(d.TaskID); err != nil {
+		if err := e.tasks.Unassign(d.TaskID, taskq.CauseEq2, d.Probability); err != nil {
 			continue
 		}
 		e.ctr.reassigned.Add(1)
 		if p, ok := e.workers.Get(d.Worker); ok && p.CurrentTask() == d.TaskID {
 			p.MarkIdle()
-		}
-		if e.hooks.OnReassign != nil {
-			e.hooks.OnReassign(d.TaskID, d.Worker, d.Probability)
 		}
 	}
 }
@@ -434,18 +418,16 @@ func (e *Engine) TickMonitor() {
 // flight at a time; the deferred apply re-arms the trigger check so a
 // backlog that built up during the charge drains immediately.
 func (e *Engine) TryBatch() {
-	assignments, byID, info, latency, ok := e.planBatch()
+	assignments, byID, stats, latency, ok := e.planBatch()
 	if !ok {
 		return
 	}
-	// Hooks fire with no engine lock held: a callback is free to call
-	// back into the engine (Complete, Feedback, even TryBatch — the
-	// inFlight gate makes that a no-op) without deadlocking, and a slow
-	// transport in Deliver cannot stall the trigger check. reactlint's
+	// The round summary publishes with no engine lock held: a tap is free
+	// to call back into the engine (Complete, Feedback, even TryBatch —
+	// the inFlight gate makes that a no-op) without deadlocking, and a
+	// slow subscriber can never stall the trigger check. reactlint's
 	// hookreentrancy analyzer enforces this.
-	if e.hooks.OnBatch != nil {
-		e.hooks.OnBatch(info)
-	}
+	e.bus.Publish(event.Event{Kind: event.KindBatch, At: e.cfg.Clock.Now(), Batch: &stats})
 	if e.cfg.Defer != nil {
 		e.cfg.Defer(latency, e.deferredApply(assignments, byID))
 		return
@@ -460,24 +442,24 @@ func (e *Engine) TryBatch() {
 // workers and tasks, and run the matcher, all under batchMu. When a round
 // is produced, inFlight is set before the lock is released so concurrent
 // TryBatch calls stay no-ops until the round is applied.
-func (e *Engine) planBatch() (assignments map[string]string, byID map[string]taskq.Task, info BatchInfo, latency time.Duration, ok bool) {
+func (e *Engine) planBatch() (assignments map[string]string, byID map[string]taskq.Task, stats event.BatchStats, latency time.Duration, ok bool) {
 	e.batchMu.Lock()
 	defer e.batchMu.Unlock()
 	if e.inFlight {
-		return nil, nil, BatchInfo{}, 0, false
+		return nil, nil, event.BatchStats{}, 0, false
 	}
 	now := e.cfg.Clock.Now()
 	if !e.trigger.Due(e.tasks.UnassignedCount(), now) {
-		return nil, nil, BatchInfo{}, 0, false
+		return nil, nil, event.BatchStats{}, 0, false
 	}
 	avail := e.workers.Available()
 	unassigned := e.tasks.Unassigned()
 	if len(avail) == 0 || len(unassigned) == 0 {
-		return nil, nil, BatchInfo{}, 0, false
+		return nil, nil, event.BatchStats{}, 0, false
 	}
 	batch, err := schedule.Run(e.cfg.Schedule, e.cfg.Matcher, avail, unassigned, now)
 	if err != nil {
-		return nil, nil, BatchInfo{}, 0, false // construction bug; skip the round rather than wedge the host
+		return nil, nil, event.BatchStats{}, 0, false // construction bug; skip the round rather than wedge the host
 	}
 	e.trigger.Ran(now)
 	e.ctr.batches.Add(1)
@@ -485,7 +467,7 @@ func (e *Engine) planBatch() (assignments map[string]string, byID map[string]tas
 	if e.cfg.Latency != nil {
 		latency = e.cfg.Latency(len(unassigned), len(avail), batch.Build.Edges, batch.Match.Cycles)
 	}
-	info = BatchInfo{
+	stats = event.BatchStats{
 		Workers:      len(avail),
 		Tasks:        len(unassigned),
 		Edges:        batch.Build.Edges,
@@ -501,7 +483,7 @@ func (e *Engine) planBatch() (assignments map[string]string, byID map[string]tas
 		byID[t.ID] = t
 	}
 	e.inFlight = true
-	return batch.Assignments, byID, info, latency, true
+	return batch.Assignments, byID, stats, latency, true
 }
 
 // deferredApply builds the callback that lands a postponed batch: apply,
@@ -519,10 +501,10 @@ func (e *Engine) deferredApply(assignments map[string]string, byID map[string]ta
 
 // applyAssignments binds matcher output to live state. Runs with no
 // engine lock held — the inFlight gate serializes rounds, and the task
-// and worker stores carry their own locks — so the Deliver and OnAssign
-// hooks may re-enter the engine freely. Sorted order keeps downstream
-// consumers (the harness's exec-time RNG stream) deterministic; map
-// iteration order would not be.
+// and worker stores carry their own locks — so the Deliver hook may
+// re-enter the engine freely. Sorted order keeps downstream consumers
+// (the harness's exec-time RNG stream) deterministic; map iteration
+// order would not be.
 func (e *Engine) applyAssignments(assignments map[string]string, byID map[string]taskq.Task) {
 	taskIDs := make([]string, 0, len(assignments))
 	for taskID := range assignments {
@@ -563,15 +545,12 @@ func (e *Engine) applyAssignments(assignments map[string]string, byID map[string
 			// Transport refused (feed full, worker detached mid-delivery):
 			// revoke. The detach path may already have unassigned and idled,
 			// so both cleanups tolerate a no-op.
-			e.tasks.Unassign(taskID)
+			e.tasks.Unassign(taskID, taskq.CauseUndeliverable, 0)
 			if p.CurrentTask() == taskID {
 				p.MarkIdle()
 			}
 			continue
 		}
 		e.ctr.assigned.Add(1)
-		if e.hooks.OnAssign != nil {
-			e.hooks.OnAssign(a)
-		}
 	}
 }

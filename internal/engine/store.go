@@ -66,8 +66,12 @@ func (s *TaskStore) Assign(taskID, workerID string) error {
 	return s.shard(taskID).Assign(taskID, workerID)
 }
 
-// Unassign returns an assigned task to the pool.
-func (s *TaskStore) Unassign(taskID string) error { return s.shard(taskID).Unassign(taskID) }
+// Unassign returns an assigned task to the pool, tagging the emitted
+// event with cause (a taskq.Cause* constant) and, for Eq. 2 revocations,
+// the predicted completion probability.
+func (s *TaskStore) Unassign(taskID, cause string, prob float64) error {
+	return s.shard(taskID).Unassign(taskID, cause, prob)
+}
 
 // Complete finishes an assigned task and returns the final record.
 func (s *TaskStore) Complete(taskID string) (taskq.Record, error) {
@@ -206,11 +210,12 @@ func (s *TaskStore) Total() int {
 // bulk-loads a snapshot through this before the engine starts.
 func (s *TaskStore) Restore(r taskq.Record) error { return s.shard(r.Task.ID).Restore(r) }
 
-// SetSink installs fn as every shard's mutation observer. Events are
-// emitted while the shard's lock is held, which gives a write-ahead log
+// setSink installs fn as every shard's mutation observer. Events are
+// emitted while the shard's lock is held, which gives the event spine
 // its per-task total order; fn must be fast, must not block, and must not
-// call back into the store. Install before traffic starts.
-func (s *TaskStore) SetSink(fn func(taskq.Event)) {
+// call back into the store. Engine.New owns the single sink (it forwards
+// into the event bus); everything else consumes the bus.
+func (s *TaskStore) setSink(fn func(taskq.Event)) {
 	for _, m := range s.shards {
 		m.SetSink(fn)
 	}

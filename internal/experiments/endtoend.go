@@ -9,6 +9,7 @@ import (
 	"react/internal/crowd"
 	"react/internal/dynassign"
 	"react/internal/engine"
+	"react/internal/event"
 	"react/internal/metrics"
 	"react/internal/region"
 	"react/internal/sim"
@@ -141,7 +142,8 @@ func (r ScenarioResult) PositiveFraction() float64 {
 // code the live server runs. This harness only hosts the engine on the
 // virtual clock: engine ticks become simulation events, the modelled matcher
 // latency of DESIGN.md §2 is charged through Config.Latency/Config.Defer,
-// and the engine's hooks feed the figure counters and the trace recorder.
+// and a tap on the engine's event spine feeds the figure counters and the
+// trace recorder.
 func RunScenario(cfg ScenarioConfig) ScenarioResult {
 	cfg = cfg.Normalize()
 	eng := sim.New(cfg.Seed)
@@ -155,11 +157,6 @@ func RunScenario(cfg ScenarioConfig) ScenarioResult {
 	}
 	var workerExec, totalExec, attempts metrics.Welford
 	execHist, _ := metrics.NewHistogram(1, 400) // 1s buckets to 400s
-	record := func(e trace.Event) {
-		if cfg.Trace != nil {
-			cfg.Trace.Record(e)
-		}
-	}
 
 	behaviors := make(map[string]crowd.Behavior, cfg.Workers)
 	execRng := eng.Rand("exec")
@@ -202,7 +199,6 @@ func RunScenario(cfg ScenarioConfig) ScenarioResult {
 					}
 					res.OnTimeSeries.Add(float64(res.Received), float64(res.CompletedOnTime))
 					res.PositiveSeries.Add(float64(res.Received), float64(res.Positive))
-					record(trace.Event{Task: taskID, Kind: trace.Completed, At: now, Worker: workerID, Late: !met})
 				}
 			}
 			// A stale event may still find the worker marked busy on this
@@ -226,26 +222,33 @@ func RunScenario(cfg ScenarioConfig) ScenarioResult {
 			eng.After(d, "batch-apply", fn)
 		},
 	}, engine.Hooks{
-		OnAssign: func(a engine.Assignment) {
-			record(trace.Event{Task: a.TaskID, Kind: trace.Assigned, At: eng.Now(), Worker: a.WorkerID})
-			// Drawing exec times here — inside the engine's sorted-order
-			// apply — keeps the RNG stream, and with it the whole run,
-			// deterministic.
+		// Drawing exec times here — inside the engine's sorted-order
+		// apply — keeps the RNG stream, and with it the whole run,
+		// deterministic.
+		Deliver: func(a engine.Assignment) bool {
 			exec := behaviors[a.WorkerID].ExecTime(execRng)
 			eng.After(exec, "complete", completeTask(a.WorkerID, a.TaskID, a.AssignedAt))
+			return true
 		},
-		OnReassign: func(taskID, workerID string, probability float64) {
-			record(trace.Event{Task: taskID, Kind: trace.Revoked, At: eng.Now(), Worker: workerID})
-			res.Reassignments++
-		},
-		OnExpire: func(rec taskq.Record) {
+	})
+
+	// Figure counters and the trace recorder ride the event spine. The sim
+	// is single-threaded, so a synchronous tap mutating res is safe.
+	re.Events().Tap(func(ev event.Event) {
+		switch ev.Kind {
+		case event.KindRevoke:
+			if ev.Cause == taskq.CauseEq2 {
+				res.Reassignments++
+			}
+		case event.KindExpire:
 			res.Expired++
-			record(trace.Event{Task: rec.Task.ID, Kind: trace.Expired, At: eng.Now()})
-		},
-		OnBatch: func(info engine.BatchInfo) {
+		case event.KindBatch:
 			res.Batches++
-			res.MatcherBusy += info.Latency.Seconds()
-		},
+			res.MatcherBusy += ev.Batch.Latency.Seconds()
+		}
+		if cfg.Trace != nil {
+			cfg.Trace.Handle(ev)
+		}
 	})
 
 	// Population: behaviours drawn from the case-study marginals, locations
@@ -273,7 +276,6 @@ func RunScenario(cfg ScenarioConfig) ScenarioResult {
 		task := stream.Take()
 		if err := re.Submit(task); err == nil {
 			res.Received++
-			record(trace.Event{Task: task.ID, Kind: trace.Submitted, At: now})
 		}
 		if res.Received < cfg.TargetTasks {
 			eng.Schedule(stream.Peek(), "arrival", arrive)

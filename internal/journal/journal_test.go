@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"react/internal/event"
 	"react/internal/taskq"
 )
 
@@ -570,10 +571,10 @@ func FuzzJournalDecode(f *testing.F) {
 	})
 }
 
-// TestKindStringAndTaskRecord pins the log-facing names and the
-// taskq.Event → WAL record mapping, including the deliberate invalid
-// record for an unknown event kind (caught by validation at append time).
-func TestKindStringAndTaskRecord(t *testing.T) {
+// TestKindStringAndFromEvent pins the log-facing names and the spine
+// event → WAL record mapping, including the not-journaled verdict for
+// batch summaries and unknown event kinds.
+func TestKindStringAndFromEvent(t *testing.T) {
 	names := map[Kind]string{
 		KindSubmit: "submit", KindAssign: "assign", KindUnassign: "unassign",
 		KindComplete: "complete", KindExpire: "expire", KindForget: "forget",
@@ -589,26 +590,29 @@ func TestKindStringAndTaskRecord(t *testing.T) {
 	}
 
 	rec := *taskRec("t1", taskq.Assigned, "w1")
-	pairs := map[taskq.EventKind]Kind{
-		taskq.EvSubmit: KindSubmit, taskq.EvAssign: KindAssign,
-		taskq.EvUnassign: KindUnassign, taskq.EvComplete: KindComplete,
-		taskq.EvExpire: KindExpire,
+	pairs := map[event.Kind]Kind{
+		event.KindSubmit: KindSubmit, event.KindAssign: KindAssign,
+		event.KindRevoke: KindUnassign, event.KindComplete: KindComplete,
+		event.KindExpire: KindExpire,
 	}
 	for ek, want := range pairs {
-		got := TaskRecord(taskq.Event{Kind: ek, Record: rec})
-		if got.Kind != want || got.Task == nil || got.Task.Task.ID != "t1" {
-			t.Errorf("TaskRecord(%d) = %+v, want kind %v carrying t1", ek, got, want)
+		got, ok := FromEvent(event.Event{Kind: ek, Task: "t1", Record: rec})
+		if !ok || got.Kind != want || got.Task == nil || got.Task.Task.ID != "t1" {
+			t.Errorf("FromEvent(%v) = %+v ok=%v, want kind %v carrying t1", ek, got, ok, want)
 		}
 		if err := got.validate(); err != nil {
-			t.Errorf("TaskRecord(%d) does not validate: %v", ek, err)
+			t.Errorf("FromEvent(%v) does not validate: %v", ek, err)
 		}
 	}
-	forget := TaskRecord(taskq.Event{Kind: taskq.EvForget, Record: rec})
-	if forget.Kind != KindForget || forget.TaskID != "t1" || forget.Task != nil {
-		t.Errorf("forget mapping = %+v", forget)
+	forget, ok := FromEvent(event.Event{Kind: event.KindForget, Task: "t1", Record: rec})
+	if !ok || forget.Kind != KindForget || forget.TaskID != "t1" || forget.Task != nil {
+		t.Errorf("forget mapping = %+v ok=%v", forget, ok)
 	}
-	if err := TaskRecord(taskq.Event{}).validate(); err == nil {
-		t.Error("unknown event kind must map to a record that fails validation")
+	if _, ok := FromEvent(event.Event{Kind: event.KindBatch}); ok {
+		t.Error("batch summaries must not be journaled")
+	}
+	if _, ok := FromEvent(event.Event{}); ok {
+		t.Error("unknown event kind must not map to a journal record")
 	}
 }
 

@@ -25,6 +25,7 @@ package journal
 import (
 	"fmt"
 
+	"react/internal/event"
 	"react/internal/taskq"
 )
 
@@ -96,26 +97,28 @@ type Record struct {
 	Lon      float64 `json:"lon,omitempty"`
 }
 
-// TaskRecord converts a taskq mutation event into its WAL record.
-func TaskRecord(ev taskq.Event) Record {
+// FromEvent derives the WAL record for a spine event. The second return
+// is false for events that are not journaled (scheduling-round
+// summaries): batches are recomputed, not replayed. The event's Record
+// is the full post-mutation state, so the WAL entry is exactly the
+// physiological redo payload replay needs.
+func FromEvent(ev event.Event) (Record, bool) {
+	rec := ev.Record
 	switch ev.Kind {
-	case taskq.EvSubmit:
-		return Record{Kind: KindSubmit, Task: &ev.Record}
-	case taskq.EvAssign:
-		return Record{Kind: KindAssign, Task: &ev.Record}
-	case taskq.EvUnassign:
-		return Record{Kind: KindUnassign, Task: &ev.Record}
-	case taskq.EvComplete:
-		return Record{Kind: KindComplete, Task: &ev.Record}
-	case taskq.EvExpire:
-		return Record{Kind: KindExpire, Task: &ev.Record}
-	case taskq.EvForget:
-		return Record{Kind: KindForget, TaskID: ev.Record.Task.ID}
+	case event.KindSubmit:
+		return Record{Kind: KindSubmit, Task: &rec}, true
+	case event.KindAssign:
+		return Record{Kind: KindAssign, Task: &rec}, true
+	case event.KindRevoke:
+		return Record{Kind: KindUnassign, Task: &rec}, true
+	case event.KindComplete:
+		return Record{Kind: KindComplete, Task: &rec}, true
+	case event.KindExpire:
+		return Record{Kind: KindExpire, Task: &rec}, true
+	case event.KindForget:
+		return Record{Kind: KindForget, TaskID: ev.Task}, true
 	default:
-		// An unknown event kind is a programming error in the caller; an
-		// explicitly invalid record fails validation at append time rather
-		// than poisoning the log silently.
-		return Record{}
+		return Record{}, false
 	}
 }
 

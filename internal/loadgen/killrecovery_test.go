@@ -17,8 +17,12 @@ import (
 	"net"
 	"os"
 	"os/exec"
+	"syscall"
 	"testing"
 	"time"
+
+	"react/internal/journal"
+	"react/internal/taskq"
 )
 
 // startReactd launches the binary journaling into dataDir and waits until
@@ -123,4 +127,47 @@ func TestKillRecoveryZeroLostTasks(t *testing.T) {
 		t.Fatalf("result accounting broken: %+v", rep)
 	}
 	t.Logf("kill-recovery report: %+v", rep)
+
+	// Shut the surviving server down cleanly (flushes and closes the
+	// journal), then replay the journal offline and check that the
+	// spine-sourced records rebuild exactly the task states the clients
+	// reconciled to: every task terminal, with the same completed/expired
+	// split the requester observed.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("terminate reactd: %v", err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("reactd exit after SIGTERM: %v", err)
+	}
+	store, err := journal.Open(journal.Options{Dir: dataDir, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("reopen journal: %v", err)
+	}
+	defer store.Close()
+	st := store.TakeRecovered()
+	if st == nil {
+		t.Fatal("journal recovered no state")
+	}
+	if len(st.Tasks) != tasks {
+		t.Fatalf("journal recovered %d tasks, want %d", len(st.Tasks), tasks)
+	}
+	completed, expired := 0, 0
+	for id, rec := range st.Tasks {
+		switch rec.Status {
+		case taskq.Completed:
+			completed++
+			if rec.Worker == "" || rec.FinishedAt.IsZero() || rec.Attempts < 1 {
+				t.Errorf("task %s: completed record incoherent: %+v", id, rec)
+			}
+		case taskq.Expired:
+			expired++
+		default:
+			t.Errorf("task %s: non-terminal status %v after a finished run", id, rec.Status)
+		}
+	}
+	if completed != rep.OnTime+rep.Late || expired != rep.Expired {
+		t.Fatalf("journal replay disagrees with client view: journal %d completed / %d expired, clients saw %d completed / %d expired",
+			completed, expired, rep.OnTime+rep.Late, rep.Expired)
+	}
+	t.Logf("journal replay matches client view: %d completed, %d expired", completed, expired)
 }

@@ -1,15 +1,17 @@
 // Collectors bridge the running system into the metrics.Registry: engine
 // counters become counter families read at scrape time, per-shard task
-// depths become labelled gauges, and the engine's hook stream (OnBatch,
-// OnReassign) feeds histograms and revocation counters that no polling
-// snapshot could reconstruct.
+// depths become labelled gauges, and the engine's event spine feeds
+// histograms and revocation counters that no polling snapshot could
+// reconstruct.
 package obs
 
 import (
 	"fmt"
 
 	"react/internal/engine"
+	"react/internal/event"
 	"react/internal/metrics"
+	"react/internal/taskq"
 	"react/internal/wire"
 )
 
@@ -29,12 +31,14 @@ const (
 	batchSizeHistogramBuckets = 128
 )
 
-// EngineCollector observes one scheduling engine. Create it before the
-// engine's host so its OnBatch/OnReassign methods can be wired as hooks,
-// then call Register once the engine exists.
+// EngineCollector observes one scheduling engine through its event
+// spine: call Attach once the engine exists (it installs HandleEvent as
+// a bus tap), then Register to expose the instruments.
 //
-// All hook methods are safe for concurrent use and never block: they only
-// touch the package's lock-striped primitives.
+// HandleEvent is safe for concurrent use and never blocks: lifecycle
+// events touch only atomic counters (safe under the shard lock a tap
+// runs beneath); the mutex-guarded histograms are touched only by batch
+// summaries, which publish outside every engine lock.
 type EngineCollector struct {
 	matcherElapsed *metrics.Histogram // measured matcher wall time per round (s)
 	matcherModel   *metrics.Histogram // modelled latency charged via Config.Latency (s)
@@ -70,26 +74,36 @@ func NewEngineCollector() *EngineCollector {
 	}
 }
 
-// OnBatch is wired as the engine's (or core.Options') OnBatch hook.
-func (c *EngineCollector) OnBatch(b engine.BatchInfo) {
-	c.matcherElapsed.Observe(b.Elapsed.Seconds())
-	if b.Latency > 0 {
-		c.matcherModel.Observe(b.Latency.Seconds())
-	}
-	c.batchTasks.Observe(float64(b.Tasks))
-	c.batchWorkers.Observe(float64(b.Workers))
-	c.batchEdges.Observe(float64(b.Edges))
-	c.prunedProb.Add(int64(b.PrunedProb))
-	c.prunedReward.Add(int64(b.PrunedReward))
+// Attach installs the collector as a tap on the engine's event spine.
+// Call once, before traffic starts.
+func (c *EngineCollector) Attach(eng *engine.Engine) {
+	eng.Events().Tap(c.HandleEvent)
 }
 
-// OnReassign is wired as the engine's (or core.Options') OnReassign hook.
-// probability > 0 marks an Eq. 2 revocation; 0 marks a worker detach.
-func (c *EngineCollector) OnReassign(taskID, workerID string, probability float64) {
-	if probability > 0 {
-		c.reassignEq2.Inc()
-	} else {
-		c.reassignDetach.Inc()
+// HandleEvent consumes one spine event: batch summaries feed the
+// matcher/graph instruments, revocations split into the Eq. 2 and
+// detach counters (other causes — recovery sweeps, undeliverable
+// assignments — are visible on the spine but not counted here).
+func (c *EngineCollector) HandleEvent(ev event.Event) {
+	switch ev.Kind {
+	case event.KindBatch:
+		b := ev.Batch
+		c.matcherElapsed.Observe(b.Elapsed.Seconds())
+		if b.Latency > 0 {
+			c.matcherModel.Observe(b.Latency.Seconds())
+		}
+		c.batchTasks.Observe(float64(b.Tasks))
+		c.batchWorkers.Observe(float64(b.Workers))
+		c.batchEdges.Observe(float64(b.Edges))
+		c.prunedProb.Add(int64(b.PrunedProb))
+		c.prunedReward.Add(int64(b.PrunedReward))
+	case event.KindRevoke:
+		switch ev.Cause {
+		case taskq.CauseEq2:
+			c.reassignEq2.Inc()
+		case taskq.CauseDetach:
+			c.reassignDetach.Inc()
+		}
 	}
 }
 
@@ -155,6 +169,22 @@ func (c *EngineCollector) Register(reg *metrics.Registry, eng *engine.Engine, la
 	}
 	if err := reg.RegisterCounter("react_engine_reassign_detach_total",
 		"revocations caused by worker detach", &c.reassignDetach, labels...); err != nil {
+		return err
+	}
+
+	// Event-spine health: fan-out volume, subscriber overflow drops, and
+	// the live subscriber count, read off the bus at scrape time.
+	bus := eng.Events()
+	if err := reg.RegisterCounterFunc("react_events_published_total",
+		"events published on the lifecycle event spine", func() float64 { return float64(bus.Stats().Published) }, labels...); err != nil {
+		return err
+	}
+	if err := reg.RegisterCounterFunc("react_events_dropped_total",
+		"events dropped by full subscription buffers", func() float64 { return float64(bus.Stats().Dropped) }, labels...); err != nil {
+		return err
+	}
+	if err := reg.RegisterGauge("react_event_subscribers",
+		"open event-spine subscriptions", func() float64 { return float64(bus.Stats().Subscribers) }, labels...); err != nil {
 		return err
 	}
 

@@ -24,6 +24,7 @@ import (
 
 	"react/internal/clock"
 	"react/internal/metrics"
+	"react/internal/trace"
 )
 
 // contentTypeMetrics is the Prometheus text exposition format version the
@@ -40,6 +41,10 @@ type Options struct {
 	// empty region list. Called per request; must be safe for concurrent
 	// use and cheap (a mutex-guarded slice copy).
 	Regions func() []Source
+	// Trace backs /trace.csv with the recorder's retained timeline
+	// (reactd wires a bounded recorder tapping the event spine). Nil
+	// serves 503 on /trace.csv.
+	Trace *trace.Recorder
 	// Logf receives serve-loop errors. Nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -72,6 +77,7 @@ func NewServer(opts Options) *Server {
 	s.mux.HandleFunc("/", s.handleIndex)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/statusz", s.handleStatusz)
+	s.mux.HandleFunc("/trace.csv", s.handleTrace)
 	// The plane runs its own mux, so net/http/pprof's DefaultServeMux
 	// registrations never become reachable; wire the handlers explicitly.
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -155,7 +161,19 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "react observability plane")
 	fmt.Fprintln(w, "  /metrics       Prometheus text exposition")
 	fmt.Fprintln(w, "  /statusz       JSON engine/worker snapshot (?workers=N)")
+	fmt.Fprintln(w, "  /trace.csv     recent task-lifecycle timeline (task,kind,at_unix_ms,worker)")
 	fmt.Fprintln(w, "  /debug/pprof/  runtime profiles")
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Trace == nil {
+		http.Error(w, "no trace recorder configured", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	if err := s.opts.Trace.WriteCSV(w); err != nil {
+		s.logf("obs: /trace.csv: %v", err) // headers already sent; log only
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -14,6 +14,7 @@ import (
 
 	"react/internal/clock"
 	"react/internal/engine"
+	"react/internal/event"
 	"react/internal/metrics"
 	"react/internal/region"
 	"react/internal/schedule"
@@ -22,7 +23,7 @@ import (
 
 // newTestEngine builds a virtual-clock engine with one registered worker
 // and one submitted task, a scheduling round already run, and the
-// collector wired as hooks.
+// collector attached to the event spine.
 func newTestEngine(t *testing.T) (*engine.Engine, *clock.Virtual, *EngineCollector) {
 	t.Helper()
 	clk := clock.NewVirtual(clock.Epoch)
@@ -31,10 +32,8 @@ func newTestEngine(t *testing.T) (*engine.Engine, *clock.Virtual, *EngineCollect
 		Clock:    clk,
 		Shards:   2,
 		Schedule: schedule.Config{BatchBound: 1},
-	}, engine.Hooks{
-		OnBatch:    col.OnBatch,
-		OnReassign: col.OnReassign,
-	})
+	}, engine.Hooks{})
+	col.Attach(eng)
 	if _, err := eng.AttachWorker("w1", region.Point{}); err != nil {
 		t.Fatal(err)
 	}
@@ -104,9 +103,11 @@ func TestMetricsWithoutRegistry(t *testing.T) {
 
 func TestReassignCounters(t *testing.T) {
 	_, clk, col := newTestEngine(t)
-	col.OnReassign("t1", "w1", 0.42) // Eq. 2 revocation
-	col.OnReassign("t1", "w1", 0)    // detach
-	col.OnReassign("t2", "w1", 0)
+	col.HandleEvent(event.Event{Kind: event.KindRevoke, Task: "t1", Worker: "w1", Cause: taskq.CauseEq2, Prob: 0.42})
+	col.HandleEvent(event.Event{Kind: event.KindRevoke, Task: "t1", Worker: "w1", Cause: taskq.CauseDetach})
+	col.HandleEvent(event.Event{Kind: event.KindRevoke, Task: "t2", Worker: "w1", Cause: taskq.CauseDetach})
+	// Causes outside the two counted ones stay uncounted.
+	col.HandleEvent(event.Event{Kind: event.KindRevoke, Task: "t3", Worker: "w1", Cause: taskq.CauseRecoverySweep})
 	reg := metrics.NewRegistry()
 	if err := reg.RegisterCounter("react_engine_reassign_eq2_total", "h", &col.reassignEq2); err != nil {
 		t.Fatal(err)

@@ -30,13 +30,12 @@ func TestScrapeUnderLoad(t *testing.T) {
 		MonitorPeriod: 20 * time.Millisecond,
 		Schedule:      schedule.Config{BatchBound: 3, BatchPeriod: 20 * time.Millisecond},
 		Monitor:       dynassign.Monitor{Threshold: 0.1},
-		OnBatch:       col.OnBatch,
-		OnReassign:    col.OnReassign,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { ws.Close() })
+	col.Attach(ws.Core().Engine())
 
 	reg := metrics.NewRegistry()
 	if err := col.Register(reg, ws.Core().Engine(), metrics.L("region", "all")); err != nil {

@@ -94,11 +94,43 @@ const (
 	EvForget
 )
 
+// Cause vocabulary for Event.Cause: why a mutation happened. The manager
+// stamps the kinds it decides itself (submissions, completions, expiry);
+// callers of Unassign supply the revocation causes, since only the
+// component taking the assignment back knows why.
+const (
+	CauseSubmit        = "submit"         // requester submitted the task
+	CauseBatch         = "batch"          // a scheduling round applied the binding
+	CauseWorker        = "worker"         // the worker reported a completion
+	CauseEq2           = "eq2"            // the Eq. 2 monitor predicted a deadline miss
+	CauseDetach        = "detach"         // the holder's connection dropped
+	CauseDeregister    = "deregister"     // the holder left the platform entirely
+	CauseUndeliverable = "undeliverable"  // transport refused the fresh assignment
+	CauseRecoverySweep = "recovery-sweep" // crash recovery returned an orphaned binding
+	CauseDeadline      = "deadline"       // the task's deadline passed
+	CauseRetention     = "retention"      // retention GC dropped a terminal record
+	CauseExplicit      = "explicit"       // a direct Forget call
+)
+
 // Event is one observed mutation: the kind plus a copy of the record as it
-// stands after the mutation (for EvForget, as it stood just before removal).
+// stands after the mutation (for EvForget, as it stood just before removal),
+// annotated with when it took effect, which worker was involved, and why.
 type Event struct {
 	Kind   EventKind
 	Record Record
+	// At is the instant the mutation took effect, read from the manager's
+	// clock under the same mutex hold that applied it.
+	At time.Time
+	// Worker is the worker involved: the assignee on EvAssign, the holder
+	// whose binding was revoked on EvUnassign (Record.Worker is already
+	// cleared by then), the answerer on EvComplete, the last holder on
+	// EvExpire/EvForget ("" if the task never reached a worker).
+	Worker string
+	// Cause is one of the Cause* constants above.
+	Cause string
+	// Prob is the Eq. 2 completion probability behind a CauseEq2
+	// revocation (0 otherwise).
+	Prob float64
 }
 
 // Manager is the Task Management Component. It is safe for concurrent use.
@@ -134,9 +166,9 @@ func (m *Manager) SetSink(fn func(Event)) {
 }
 
 // emit reports a mutation to the sink. Callers hold m.mu.
-func (m *Manager) emit(kind EventKind, r *Record) {
+func (m *Manager) emit(kind EventKind, r *Record, at time.Time, worker, cause string, prob float64) {
 	if m.sink != nil {
-		m.sink(Event{Kind: kind, Record: *r})
+		m.sink(Event{Kind: kind, Record: *r, At: at, Worker: worker, Cause: cause, Prob: prob})
 	}
 }
 
@@ -185,7 +217,7 @@ func (m *Manager) Submit(t Task) error {
 	if m.counts[Unassigned] > m.unassignedHW {
 		m.unassignedHW = m.counts[Unassigned]
 	}
-	m.emit(EvSubmit, r)
+	m.emit(EvSubmit, r, now, "", CauseSubmit, 0)
 	return nil
 }
 
@@ -243,14 +275,17 @@ func (m *Manager) Assign(taskID, workerID string) error {
 	r.Worker = workerID
 	r.AssignedAt = m.clk.Now()
 	r.Attempts++
-	m.emit(EvAssign, r)
+	m.emit(EvAssign, r, r.AssignedAt, workerID, CauseBatch, 0)
 	return nil
 }
 
 // Unassign returns an assigned task to the pool (worker abandoned it, or
 // the Dynamic Assignment Component predicted a miss). The attempt count is
 // preserved so profiles of flaky workers can be penalized by callers.
-func (m *Manager) Unassign(taskID string) error {
+// cause says which component took the assignment back (one of the Cause*
+// constants); prob is the Eq. 2 completion probability for CauseEq2
+// revocations (0 otherwise). Both are carried on the emitted event.
+func (m *Manager) Unassign(taskID, cause string, prob float64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	r, ok := m.records[taskID]
@@ -260,10 +295,11 @@ func (m *Manager) Unassign(taskID string) error {
 	if r.Status != Assigned {
 		return fmt.Errorf("%w: unassign %q while %v", ErrBadState, taskID, r.Status)
 	}
+	worker := r.Worker
 	m.transition(r, Unassigned)
 	r.Worker = ""
 	r.AssignedAt = time.Time{}
-	m.emit(EvUnassign, r)
+	m.emit(EvUnassign, r, m.clk.Now(), worker, cause, prob)
 	return nil
 }
 
@@ -281,7 +317,7 @@ func (m *Manager) Complete(taskID string) (Record, error) {
 	}
 	m.transition(r, Completed)
 	r.FinishedAt = m.clk.Now()
-	m.emit(EvComplete, r)
+	m.emit(EvComplete, r, r.FinishedAt, r.Worker, CauseWorker, 0)
 	return *r, nil
 }
 
@@ -316,7 +352,7 @@ func (m *Manager) expire(includeAssigned bool) []Record {
 		}
 		m.transition(r, Expired)
 		r.FinishedAt = now
-		m.emit(EvExpire, r)
+		m.emit(EvExpire, r, now, r.Worker, CauseDeadline, 0)
 		out = append(out, *r)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Task.ID < out[j].Task.ID })
@@ -392,7 +428,7 @@ func (m *Manager) Forget(taskID string) error {
 	}
 	m.counts[r.Status]--
 	delete(m.records, taskID)
-	m.emit(EvForget, r)
+	m.emit(EvForget, r, m.clk.Now(), r.Worker, CauseExplicit, 0)
 	return nil
 }
 
@@ -422,6 +458,7 @@ func (m *Manager) MarkGraded(taskID string) error {
 // REACT's own components never read terminal records after the requester
 // has been notified.
 func (m *Manager) ForgetTerminatedBefore(cutoff time.Time) int {
+	now := m.clk.Now()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	removed := 0
@@ -432,7 +469,7 @@ func (m *Manager) ForgetTerminatedBefore(cutoff time.Time) int {
 		if r.FinishedAt.Before(cutoff) {
 			m.counts[r.Status]--
 			delete(m.records, id)
-			m.emit(EvForget, r)
+			m.emit(EvForget, r, now, r.Worker, CauseRetention, 0)
 			removed++
 		}
 	}

@@ -120,7 +120,7 @@ func TestCompleteAfterDeadlineMisses(t *testing.T) {
 func TestStateMachineRejections(t *testing.T) {
 	m, _ := newTestManager()
 	m.Submit(testTask("t1", time.Minute))
-	if err := m.Unassign("t1"); !errors.Is(err, ErrBadState) {
+	if err := m.Unassign("t1", CauseWorker, 0); !errors.Is(err, ErrBadState) {
 		t.Fatalf("unassign unassigned err = %v", err)
 	}
 	if _, err := m.Complete("t1"); !errors.Is(err, ErrBadState) {
@@ -134,7 +134,7 @@ func TestStateMachineRejections(t *testing.T) {
 		t.Fatalf("double assign err = %v", err)
 	}
 	m.Complete("t1")
-	if err := m.Unassign("t1"); !errors.Is(err, ErrBadState) {
+	if err := m.Unassign("t1", CauseWorker, 0); !errors.Is(err, ErrBadState) {
 		t.Fatalf("unassign completed err = %v", err)
 	}
 	if _, err := m.Elapsed("t1"); !errors.Is(err, ErrBadState) {
@@ -147,7 +147,7 @@ func TestReassignmentKeepsAttempts(t *testing.T) {
 	m.Submit(testTask("t1", 5*time.Minute))
 	m.Assign("t1", "w1")
 	clk.Advance(10 * time.Second)
-	if err := m.Unassign("t1"); err != nil {
+	if err := m.Unassign("t1", CauseWorker, 0); err != nil {
 		t.Fatal(err)
 	}
 	r, _ := m.Get("t1")
@@ -401,7 +401,7 @@ func TestQuickCountsStayConsistent(t *testing.T) {
 				}
 			case 2:
 				if len(ids) > 0 {
-					m.Unassign(ids[int(op)%len(ids)])
+					m.Unassign(ids[int(op)%len(ids)], CauseWorker, 0)
 				}
 			case 3:
 				if len(ids) > 0 {
@@ -486,7 +486,7 @@ func TestUnassignedHighWater(t *testing.T) {
 	}
 	// A return to the pool counts toward a new peak: 2 in pool < 3, then
 	// submissions push past the old mark.
-	if err := m.Unassign("t0"); err != nil {
+	if err := m.Unassign("t0", CauseWorker, 0); err != nil {
 		t.Fatal(err)
 	}
 	for i := 3; i < 6; i++ {

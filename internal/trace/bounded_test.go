@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"react/internal/event"
+	"react/internal/taskq"
+)
+
+func TestBoundedRecorderEvictsOldest(t *testing.T) {
+	r := NewBounded(3)
+	for i := 0; i < 5; i++ {
+		r.Record(Event{Task: fmt.Sprintf("t%d", i), Kind: Submitted})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len = %d, want 3", r.Len())
+	}
+	if r.Evicted() != 2 {
+		t.Fatalf("evicted = %d, want 2", r.Evicted())
+	}
+	evs := r.Events()
+	for i, want := range []string{"t2", "t3", "t4"} {
+		if evs[i].Task != want {
+			t.Fatalf("events[%d].Task = %q, want %q (ring order broken: %+v)", i, evs[i].Task, want, evs)
+		}
+	}
+}
+
+func TestBoundedRecorderLimitClampedToOne(t *testing.T) {
+	r := NewBounded(0)
+	r.Record(Event{Task: "a", Kind: Submitted})
+	r.Record(Event{Task: "b", Kind: Submitted})
+	if r.Len() != 1 || r.Events()[0].Task != "b" || r.Evicted() != 1 {
+		t.Fatalf("clamped recorder wrong: len=%d evicted=%d %+v", r.Len(), r.Evicted(), r.Events())
+	}
+}
+
+func TestUnboundedRecorderNeverEvicts(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i < 100; i++ {
+		r.Record(Event{Task: "t", Kind: Submitted})
+	}
+	if r.Len() != 100 || r.Evicted() != 0 {
+		t.Fatalf("len=%d evicted=%d", r.Len(), r.Evicted())
+	}
+}
+
+func TestHandleMapsSpineEvents(t *testing.T) {
+	r := NewRecorder()
+	at := time.Unix(50, 0)
+	deadline := at.Add(time.Minute)
+	late := taskq.Record{
+		Task:       taskq.Task{ID: "t1", Deadline: deadline},
+		Status:     taskq.Completed,
+		FinishedAt: deadline.Add(time.Second),
+	}
+	onTime := taskq.Record{
+		Task:       taskq.Task{ID: "t1", Deadline: deadline},
+		Status:     taskq.Completed,
+		FinishedAt: deadline.Add(-time.Second),
+	}
+	r.Handle(event.Event{Kind: event.KindSubmit, Task: "t1", At: at})
+	r.Handle(event.Event{Kind: event.KindAssign, Task: "t1", Worker: "w1", At: at})
+	r.Handle(event.Event{Kind: event.KindRevoke, Task: "t1", Worker: "w1", At: at})
+	r.Handle(event.Event{Kind: event.KindComplete, Task: "t1", Worker: "w2", At: at, Record: late})
+	r.Handle(event.Event{Kind: event.KindComplete, Task: "t1", Worker: "w2", At: at, Record: onTime})
+	r.Handle(event.Event{Kind: event.KindExpire, Task: "t2", Worker: "", At: at})
+	// Forget and batch carry no timeline step.
+	r.Handle(event.Event{Kind: event.KindForget, Task: "t1", At: at})
+	r.Handle(event.Event{Kind: event.KindBatch, At: at})
+
+	evs := r.Events()
+	want := []struct {
+		kind   Kind
+		worker string
+		late   bool
+	}{
+		{Submitted, "", false},
+		{Assigned, "w1", false},
+		{Revoked, "w1", false},
+		{Completed, "w2", true},
+		{Completed, "w2", false},
+		{Expired, "", false},
+	}
+	if len(evs) != len(want) {
+		t.Fatalf("recorded %d events, want %d: %+v", len(evs), len(want), evs)
+	}
+	for i, w := range want {
+		if evs[i].Kind != w.kind || evs[i].Worker != w.worker || evs[i].Late != w.late {
+			t.Errorf("events[%d] = %+v, want kind=%v worker=%q late=%v", i, evs[i], w.kind, w.worker, w.late)
+		}
+		if !evs[i].At.Equal(at) {
+			t.Errorf("events[%d].At = %v, want %v", i, evs[i].At, at)
+		}
+	}
+}

@@ -1,9 +1,11 @@
-// Package trace records per-task lifecycle events during simulation runs:
-// submission, each (re)assignment, revocation, completion, expiry. The
-// experiments attach a Recorder to answer questions the aggregate counters
-// cannot — how long tasks queued before first assignment, how reassignment
-// chains distribute, which phase lost each missed deadline — and export the
-// raw timeline as CSV for external analysis.
+// Package trace records per-task lifecycle events — submission, each
+// (re)assignment, revocation, completion, expiry — and exports the raw
+// timeline as CSV for external analysis. The experiments attach a
+// Recorder to answer questions the aggregate counters cannot: how long
+// tasks queued before first assignment, how reassignment chains
+// distribute, which phase lost each missed deadline. Live servers feed a
+// bounded Recorder (NewBounded) from the event spine via Handle, so the
+// same CSV timeline is available from a running reactd.
 package trace
 
 import (
@@ -12,6 +14,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"react/internal/event"
 )
 
 // Kind classifies a lifecycle event.
@@ -54,36 +58,86 @@ type Event struct {
 }
 
 // Recorder accumulates events. Safe for concurrent use; events are kept in
-// arrival order, which under the deterministic engine is time order.
+// arrival order, which under the deterministic engine is time order. An
+// unbounded recorder (NewRecorder) keeps everything — right for finite
+// simulation runs; a bounded one (NewBounded) overwrites the oldest
+// events once full, so a live server's recorder holds the most recent
+// window of the timeline in fixed memory.
 type Recorder struct {
-	mu     sync.Mutex
-	events []Event
+	mu      sync.Mutex
+	events  []Event
+	cap     int    // ring capacity; 0 = unbounded
+	start   int    // ring read index (oldest event) once len(events) == cap
+	evicted uint64 // events overwritten since creation
 }
 
-// NewRecorder returns an empty recorder.
+// NewRecorder returns an empty, unbounded recorder.
 func NewRecorder() *Recorder { return &Recorder{} }
 
-// Record appends one event.
+// NewBounded returns a recorder that retains at most limit events,
+// evicting the oldest when full. limit below 1 is treated as 1.
+func NewBounded(limit int) *Recorder {
+	if limit < 1 {
+		limit = 1
+	}
+	return &Recorder{cap: limit}
+}
+
+// Record appends one event, evicting the oldest when a bounded recorder
+// is full.
 func (r *Recorder) Record(e Event) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.cap > 0 && len(r.events) == r.cap {
+		r.events[r.start] = e
+		r.start = (r.start + 1) % r.cap
+		r.evicted++
+		return
+	}
 	r.events = append(r.events, e)
 }
 
-// Len reports the number of recorded events.
+// Len reports the number of retained events.
 func (r *Recorder) Len() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return len(r.events)
 }
 
-// Events returns a copy of the timeline.
+// Evicted reports how many events a bounded recorder has overwritten
+// (always 0 for an unbounded one).
+func (r *Recorder) Evicted() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.evicted
+}
+
+// Events returns a copy of the retained timeline, oldest first.
 func (r *Recorder) Events() []Event {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]Event, len(r.events))
-	copy(out, r.events)
+	out := make([]Event, 0, len(r.events))
+	out = append(out, r.events[r.start:]...)
+	out = append(out, r.events[:r.start]...)
 	return out
+}
+
+// Handle maps a spine event onto the recorder — the adapter that lets a
+// Recorder tap an event.Bus directly. Forget and batch events carry no
+// per-task timeline step and are ignored.
+func (r *Recorder) Handle(ev event.Event) {
+	switch ev.Kind {
+	case event.KindSubmit:
+		r.Record(Event{Task: ev.Task, Kind: Submitted, At: ev.At})
+	case event.KindAssign:
+		r.Record(Event{Task: ev.Task, Kind: Assigned, At: ev.At, Worker: ev.Worker})
+	case event.KindRevoke:
+		r.Record(Event{Task: ev.Task, Kind: Revoked, At: ev.At, Worker: ev.Worker})
+	case event.KindComplete:
+		r.Record(Event{Task: ev.Task, Kind: Completed, At: ev.At, Worker: ev.Worker, Late: !ev.Record.MetDeadline()})
+	case event.KindExpire:
+		r.Record(Event{Task: ev.Task, Kind: Expired, At: ev.At, Worker: ev.Worker})
+	}
 }
 
 // WriteCSV emits "task,kind,at_unix_ms,worker" rows in arrival order.

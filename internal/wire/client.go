@@ -53,6 +53,8 @@ type ClientMetrics struct {
 	AssignmentHighWater int   // peak assignment backlog over the connection
 	ResultBacklog       int
 	ResultHighWater     int
+	EventBacklog        int
+	EventHighWater      int
 	OverflowClosed      bool // connection closed because a backlog exceeded the limit
 }
 
@@ -80,6 +82,7 @@ type Client struct {
 
 	assignments *pushQueue[AssignmentPayload]
 	results     *pushQueue[ResultPayload]
+	events      *pushQueue[EventPayload]
 
 	closeOnce sync.Once
 	closed    chan struct{}
@@ -102,6 +105,7 @@ func Dial(addr string) (*Client, error) {
 	cl.lastSend.Store(time.Now().UnixNano())
 	cl.assignments = newPushQueue[AssignmentPayload](DefaultMaxBacklog, cl.overflowClose)
 	cl.results = newPushQueue[ResultPayload](DefaultMaxBacklog, cl.overflowClose)
+	cl.events = newPushQueue[EventPayload](DefaultMaxBacklog, cl.overflowClose)
 	go cl.readLoop()
 	go cl.keepaliveLoop()
 	return cl, nil
@@ -132,10 +136,11 @@ func (cl *Client) Metrics() ClientMetrics {
 		MismatchedResponses: cl.mismatched.Load(),
 		DroppedResponses:    cl.respDrops.Load(),
 	}
-	var aOver, rOver bool
+	var aOver, rOver, eOver bool
 	m.AssignmentBacklog, m.AssignmentHighWater, _, aOver = cl.assignments.depthStats()
 	m.ResultBacklog, m.ResultHighWater, _, rOver = cl.results.depthStats()
-	m.OverflowClosed = aOver || rOver
+	m.EventBacklog, m.EventHighWater, _, eOver = cl.events.depthStats()
+	m.OverflowClosed = aOver || rOver || eOver
 	return m
 }
 
@@ -167,6 +172,10 @@ func (cl *Client) readLoop() {
 			if m.Result != nil {
 				cl.results.push(*m.Result)
 			}
+		case "event":
+			if m.Event != nil {
+				cl.events.push(*m.Event)
+			}
 		default: // ok / error responses
 			select {
 			case cl.resp <- m:
@@ -180,6 +189,7 @@ func (cl *Client) readLoop() {
 	cl.Close()
 	cl.assignments.close()
 	cl.results.close()
+	cl.events.close()
 }
 
 // keepaliveLoop pings whenever the connection has been request-idle for a
@@ -310,6 +320,21 @@ func (cl *Client) Watch() error {
 // Results is the stream of result pushes after Watch. Closed when the
 // connection drops.
 func (cl *Client) Results() <-chan ResultPayload { return cl.results.out }
+
+// WatchEvents subscribes this connection to the server's lifecycle event
+// stream; events arrive on Events(). An empty taskID streams every task's
+// events; a non-empty one narrows the stream to that task's timeline.
+// Calling it again replaces the previous subscription. The server-side
+// buffer is bounded: a client that stops draining Events() loses frames
+// rather than stalling the engine.
+func (cl *Client) WatchEvents(taskID string) error {
+	_, err := cl.call(Message{Type: "watch-events", TaskID: taskID})
+	return err
+}
+
+// Events is the stream of lifecycle event pushes after WatchEvents. Closed
+// when the connection drops.
+func (cl *Client) Events() <-chan EventPayload { return cl.events.out }
 
 // Ping round-trips a keepalive frame.
 func (cl *Client) Ping() error {

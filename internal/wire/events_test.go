@@ -1,0 +1,150 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"react/internal/core"
+	"react/internal/profile"
+	"react/internal/region"
+	"react/internal/taskq"
+)
+
+// drainTimeline collects events until a terminal one arrives for taskID.
+func drainTimeline(t *testing.T, c *Client, taskID string) []EventPayload {
+	t.Helper()
+	var got []EventPayload
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case ev, ok := <-c.Events():
+			if !ok {
+				t.Fatalf("event stream closed after %d events", len(got))
+			}
+			got = append(got, ev)
+			if ev.TaskID == taskID && ev.Terminal() {
+				return got
+			}
+		case <-deadline:
+			t.Fatalf("no terminal event for %q; got %+v", taskID, got)
+		}
+	}
+}
+
+func TestWatchEventsStreamsTaskTimeline(t *testing.T) {
+	s := startServer(t)
+
+	watcher := dial(t, s)
+	if err := watcher.WatchEvents("t1"); err != nil {
+		t.Fatal(err)
+	}
+
+	worker := dial(t, s)
+	if err := worker.Register("alice", 37.98, 23.73); err != nil {
+		t.Fatal(err)
+	}
+	requester := dial(t, s)
+	if err := requester.Submit(testTask("t1")); err != nil {
+		t.Fatal(err)
+	}
+	// An off-filter task: none of its events may leak into the stream.
+	if err := requester.Submit(testTask("t2")); err != nil {
+		t.Fatal(err)
+	}
+
+	var a AssignmentPayload
+	for a.TaskID != "t1" {
+		select {
+		case a = <-worker.Assignments():
+		case <-time.After(5 * time.Second):
+			t.Fatal("assignment never arrived")
+		}
+	}
+	if err := worker.Complete("t1", "alice", "yes"); err != nil {
+		t.Fatal(err)
+	}
+
+	got := drainTimeline(t, watcher, "t1")
+	var kinds []string
+	var lastSeq uint64
+	for _, ev := range got {
+		if ev.TaskID != "t1" {
+			t.Fatalf("event for %q leaked through the t1 filter: %+v", ev.TaskID, ev)
+		}
+		if ev.Seq <= lastSeq {
+			t.Fatalf("seq not strictly increasing: %d after %d", ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		kinds = append(kinds, ev.Kind)
+	}
+	timeline := strings.Join(kinds, "→")
+	if timeline != "submit→assign→complete" {
+		t.Fatalf("timeline = %s, want submit→assign→complete", timeline)
+	}
+	last := got[len(got)-1]
+	if last.Worker != "alice" || !last.MetDeadline || last.Status != "completed" || last.Attempts != 1 {
+		t.Fatalf("terminal event = %+v", last)
+	}
+}
+
+func TestWatchEventsUnfiltered(t *testing.T) {
+	s := startServer(t)
+
+	watcher := dial(t, s)
+	if err := watcher.WatchEvents(""); err != nil {
+		t.Fatal(err)
+	}
+	requester := dial(t, s)
+	if err := requester.Submit(testTask("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := requester.Submit(testTask("b")); err != nil {
+		t.Fatal(err)
+	}
+
+	seen := map[string]bool{}
+	deadline := time.After(5 * time.Second)
+	for !(seen["a"] && seen["b"]) {
+		select {
+		case ev := <-watcher.Events():
+			if ev.Kind != "submit" {
+				t.Fatalf("unexpected kind %q before any worker exists", ev.Kind)
+			}
+			seen[ev.TaskID] = true
+		case <-deadline:
+			t.Fatalf("submit events missing; seen %v", seen)
+		}
+	}
+}
+
+// noEventsBackend satisfies Backend but not the optional event-spine
+// interface, like the federation coordinator.
+type noEventsBackend struct{}
+
+func (noEventsBackend) RegisterWorker(string, region.Point) (<-chan core.Assignment, error) {
+	return nil, nil
+}
+func (noEventsBackend) ReconnectWorker(string) (<-chan core.Assignment, error) { return nil, nil }
+func (noEventsBackend) DeregisterWorker(string) error                          { return nil }
+func (noEventsBackend) DetachWorker(string) error                              { return nil }
+func (noEventsBackend) Worker(string) (*profile.Profile, bool)                 { return nil, false }
+func (noEventsBackend) Submit(taskq.Task) error                                { return nil }
+func (noEventsBackend) Complete(string, string, string) (core.Result, error) {
+	return core.Result{}, nil
+}
+func (noEventsBackend) Feedback(string, bool) error { return nil }
+func (noEventsBackend) Stats() core.Stats           { return core.Stats{} }
+func (noEventsBackend) Stop()                       {}
+
+func TestWatchEventsWithoutSpineErrors(t *testing.T) {
+	s, err := ServeBackend("127.0.0.1:0", noEventsBackend{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	c := dial(t, s)
+	if err := c.WatchEvents(""); err == nil || !strings.Contains(err.Error(), "event spine") {
+		t.Fatalf("err = %v, want event-spine rejection", err)
+	}
+}

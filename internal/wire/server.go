@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"react/internal/core"
+	"react/internal/event"
 	"react/internal/profile"
 	"react/internal/region"
 	"react/internal/taskq"
@@ -68,6 +69,12 @@ func (r *ResultRelay) attach(fn func(core.Result)) {
 // deadline, a silently dead connection (pulled cable, NAT timeout,
 // partition) holds its worker "busy" forever.
 const DefaultIdleTimeout = 90 * time.Second
+
+// eventWatchDepth bounds one watch-events subscription's buffer. Deep
+// enough to ride out transient client stalls; a stream that falls further
+// behind drops frames (counted on the bus) rather than blocking the shard
+// lock under which events are published.
+const eventWatchDepth = 1024
 
 // Server exposes a Backend over TCP.
 type Server struct {
@@ -125,6 +132,9 @@ type conn struct {
 	wmu    sync.Mutex
 	worker string // non-empty once registered
 	srv    *Server
+
+	evMu  sync.Mutex
+	evSub *event.Subscription // non-nil after watch-events
 }
 
 // Serve starts a region server listening on addr (e.g. "127.0.0.1:7341" or
@@ -447,6 +457,48 @@ func (c *conn) handle(m Message) {
 		}
 		c.send(Message{Type: "ok", Seq: m.Seq, Status: payload})
 
+	case "watch-events":
+		// Subscribe this connection to the engine's lifecycle event spine.
+		// With a TaskID the stream narrows to that task's timeline
+		// (submit→assign→…→terminal); without one every lifecycle event
+		// flows. The subscription is bounded and lossy by design: a client
+		// that cannot keep up loses frames (counted on the bus), never
+		// stalls the engine.
+		type eventBackend interface {
+			Events() *event.Bus
+		}
+		eb, ok := s.backend.(eventBackend)
+		if !ok {
+			c.reply(m.Seq, errors.New("watch-events: backend does not expose the event spine"))
+			return
+		}
+		taskID := m.TaskID
+		filter := func(ev event.Event) bool {
+			if !ev.Kind.Lifecycle() {
+				return false
+			}
+			return taskID == "" || ev.Task == taskID
+		}
+		sub := eb.Events().Subscribe(eventWatchDepth, filter)
+		c.evMu.Lock()
+		prev := c.evSub
+		c.evSub = sub
+		c.evMu.Unlock()
+		if prev != nil {
+			prev.Close() // re-subscribe replaces the old stream
+		}
+		c.reply(m.Seq, nil)
+		// Forward until the subscription closes (teardown or replacement).
+		//lint:ignore nakedgoroutine the forwarder's lifetime is the subscription channel: teardown or a replacing watch-events closes it
+		go func() {
+			for ev := range sub.C() {
+				if err := c.send(Message{Type: "event", Event: toEventPayload(ev)}); err != nil {
+					c.c.Close()
+					return
+				}
+			}
+		}()
+
 	case "regions":
 		// Multi-region backends list per-region counters; a single-region
 		// server reports itself as "all".
@@ -484,6 +536,12 @@ func (c *conn) handle(m Message) {
 
 func (c *conn) teardown() {
 	s := c.srv
+	c.evMu.Lock()
+	if c.evSub != nil {
+		c.evSub.Close() // unblocks the event forwarder goroutine
+		c.evSub = nil
+	}
+	c.evMu.Unlock()
 	s.mu.Lock()
 	delete(s.watchers, c)
 	delete(s.conns, c)

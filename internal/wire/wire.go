@@ -5,15 +5,17 @@
 // hosts the server; cmd/reactctl and the examples use the client.
 //
 // Protocol: each line is one Message. Clients send requests
-// (register/submit/complete/feedback/watch/stats); the server answers every
-// request with exactly one "ok" or "error" message, in order, and may
-// interleave asynchronous "assignment" and "result" pushes at any time.
+// (register/submit/complete/feedback/watch/watch-events/stats); the server
+// answers every request with exactly one "ok" or "error" message, in order,
+// and may interleave asynchronous "assignment", "result", and "event"
+// pushes at any time.
 package wire
 
 import (
 	"time"
 
 	"react/internal/core"
+	"react/internal/event"
 	"react/internal/region"
 	"react/internal/taskq"
 )
@@ -22,8 +24,8 @@ import (
 // fields are meaningful.
 type Message struct {
 	Type string `json:"type"` // request: register|deregister|location|available|
-	// submit|complete|feedback|watch|task|stats — response: ok|error — push:
-	// assignment|result
+	// submit|complete|feedback|watch|watch-events|task|stats — response:
+	// ok|error — push: assignment|result|event
 
 	// Seq correlates a response with the request that caused it: clients
 	// stamp every request with a strictly increasing sequence number and
@@ -59,6 +61,49 @@ type Message struct {
 	Stats      *StatsPayload        `json:"stats,omitempty"`
 	Regions    []RegionStatsPayload `json:"regions,omitempty"`
 	Status     *TaskStatusPayload   `json:"status,omitempty"`
+	Event      *EventPayload        `json:"event,omitempty"`
+}
+
+// EventPayload is the wire form of one lifecycle event from the engine's
+// event spine, pushed after a "watch-events" subscription. Seq is the
+// bus-wide publish order (strictly increasing, per-task total order);
+// AtUnixMS is the engine-clock timestamp of the transition.
+type EventPayload struct {
+	Seq         uint64  `json:"seq"`
+	Kind        string  `json:"kind"` // submit|assign|revoke|complete|expire|forget
+	TaskID      string  `json:"task_id"`
+	Worker      string  `json:"worker,omitempty"`
+	AtUnixMS    int64   `json:"at_unix_ms"`
+	Cause       string  `json:"cause,omitempty"`
+	Probability float64 `json:"probability,omitempty"` // eq. 2 estimate on eq2 revokes
+	Status      string  `json:"status,omitempty"`      // task state after the transition
+	MetDeadline bool    `json:"met_deadline,omitempty"`
+	Attempts    int     `json:"attempts,omitempty"`
+}
+
+// Terminal reports whether this event ends the task's lifecycle, which is
+// how `reactctl tail -id` knows the timeline is over.
+func (p EventPayload) Terminal() bool {
+	switch p.Kind {
+	case "complete", "expire", "forget":
+		return true
+	}
+	return false
+}
+
+func toEventPayload(ev event.Event) *EventPayload {
+	return &EventPayload{
+		Seq:         ev.Seq,
+		Kind:        ev.Kind.String(),
+		TaskID:      ev.Task,
+		Worker:      ev.Worker,
+		AtUnixMS:    ev.At.UnixMilli(),
+		Cause:       ev.Cause,
+		Probability: ev.Prob,
+		Status:      ev.Record.Status.String(),
+		MetDeadline: ev.Record.MetDeadline(),
+		Attempts:    ev.Record.Attempts,
+	}
 }
 
 // TaskStatusPayload answers a "task" status query: the lifecycle state of
