@@ -12,7 +12,7 @@ RACE_PKGS = ./internal/engine ./internal/core ./internal/wire ./internal/federat
 COVER_PKGS = internal/engine internal/metrics internal/lint internal/journal internal/event internal/trace
 COVER_FLOOR = 70
 
-.PHONY: all build lint lint-typed lockorder lockorder-check vet test race chaos recovery determinism bench coverage ci
+.PHONY: all build lint lint-typed lockorder lockorder-check vet test race chaos recovery determinism bench wire-baseline fuzz coverage ci
 
 all: build lint test
 
@@ -85,12 +85,26 @@ determinism:
 		fi; \
 	done
 
-# Benchmark gate: first a 1x smoke that the benchmark harness still runs,
-# then the in-process throughput check against the committed baseline
-# (BENCH_engine.json, -40% tolerance). bench_check.json is the CI artifact.
+# Benchmark gate: first a 1x smoke that the benchmark harnesses still run,
+# then the in-process throughput checks against the committed baselines
+# (BENCH_engine.json and BENCH_wire.json, -40% tolerance each, plus the
+# codec's 0 allocs/op encode contract). bench_check.json and
+# wire_check.json are the CI artifacts.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkEngineThroughput' -benchtime 1x .
-	$(GO) run ./cmd/reactbench -check -check-out bench_check.json
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineThroughput|BenchmarkWireEncode' -benchtime 1x .
+	$(GO) run ./cmd/reactbench -check -check-out bench_check.json -wire-out wire_check.json
+
+# Re-measure the wire grid on this box and rewrite BENCH_wire.json.
+wire-baseline:
+	$(GO) run ./cmd/reactbench -wire-record
+
+# Short fuzz budgets over the frame codec and the journal decoder — the
+# nightly workflow's fast leg, runnable locally. FUZZTIME scales it.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzFrameDecode -fuzztime $(FUZZTIME) ./internal/wire
+	$(GO) test -run '^$$' -fuzz FuzzMessageDecode -fuzztime $(FUZZTIME) ./internal/wire
+	$(GO) test -run '^$$' -fuzz FuzzJournalDecode -fuzztime $(FUZZTIME) ./internal/journal
 
 # Coverage floor: whole-repo profile (coverage.out is the CI artifact),
 # then per-package floors on the packages named in COVER_PKGS.

@@ -12,6 +12,7 @@ import (
 	"react/internal/bipartite"
 	"react/internal/experiments"
 	"react/internal/matching"
+	"react/internal/wire"
 )
 
 // ---- Figures 3 and 4: matcher wall time and output weight ----
@@ -287,6 +288,83 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	for _, shards := range []int{1, 4, 16} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
 			benchEngineThroughput(b, shards)
+		})
+	}
+}
+
+// ---- Wire transport: framing cost and hot-path throughput ----
+//
+// BenchmarkWireEncode measures the pooled codec's steady state on the hot
+// frame shapes: encoding into a reused buffer must report 0 allocs/op —
+// the whole point of replacing encoding/json on the push path. The
+// reactbench allocs gate holds the same property in CI via
+// testing.AllocsPerRun.
+func BenchmarkWireEncode(b *testing.B) {
+	frames := []struct {
+		name string
+		m    wire.Message
+	}{
+		{"assign", wire.Message{Type: "assignment", Assignment: &wire.AssignmentPayload{
+			TaskID: "t00001234", WorkerID: "w042", Category: "traffic",
+			Description: "is the on-ramp at exit 14 jammed?",
+			Lat:         37.9838, Lon: 23.7275, DeadlineMS: 60000, Reward: 0.25,
+		}}},
+		{"submit", wire.Message{Type: "submit", Seq: 7, Task: &wire.TaskPayload{
+			ID: "t00001234", Lat: 37.9838, Lon: 23.7275, DeadlineMS: 60000,
+			Reward: 0.25, Category: "traffic", Description: "is the on-ramp at exit 14 jammed?",
+		}}},
+		{"result", wire.Message{Type: "result", Result: &wire.ResultPayload{
+			TaskID: "t00001234", WorkerID: "w042", Answer: "yes, jammed", MetDeadline: true,
+		}}},
+		{"event", wire.Message{Type: "event", Event: &wire.EventPayload{
+			Seq: 991, Kind: "complete", TaskID: "t00001234", Worker: "w042",
+			AtUnixMS: 1754550000123, Status: "completed", MetDeadline: true, Attempts: 1,
+		}}},
+	}
+	for _, f := range frames {
+		f := f
+		b.Run(f.name, func(b *testing.B) {
+			buf := make([]byte, 0, 1024)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf = wire.AppendFrame(buf[:0], &f.m)
+			}
+			_ = buf
+		})
+	}
+}
+
+// benchWire runs the shared wire workload (experiments.RunWireBench, the
+// same harness `reactbench -check` replays against BENCH_wire.json) and
+// reports delivered frames per wall second plus how well the server
+// coalesced. One op is one delivered frame, so b.N scales the run length.
+func benchWire(b *testing.B, shape string, conns int) {
+	frames := b.N/conns + 1 // delivered frames ≈ b.N for either shape
+	b.ResetTimer()
+	res, err := experiments.RunWireBench(experiments.WireBenchConfig{
+		Shape: shape, Conns: conns, Frames: frames,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(res.FramesPerSec, "frames/s")
+	b.ReportMetric(res.FramesPerFlush, "frames/flush")
+}
+
+func BenchmarkWireBroadcast(b *testing.B) {
+	for _, conns := range []int{1, 64, 1024} {
+		b.Run(fmt.Sprintf("conns=%d", conns), func(b *testing.B) {
+			benchWire(b, "broadcast", conns)
+		})
+	}
+}
+
+func BenchmarkWireRequestReply(b *testing.B) {
+	for _, conns := range []int{1, 64, 1024} {
+		b.Run(fmt.Sprintf("conns=%d", conns), func(b *testing.B) {
+			benchWire(b, "request-reply", conns)
 		})
 	}
 }

@@ -43,6 +43,7 @@ type checkArtifact struct {
 	Date      string     `json:"date"`
 	Ops       int        `json:"ops"`
 	Tolerance float64    `json:"tolerance"`
+	Env       benchEnv   `json:"env"`
 	Rows      []checkRow `json:"rows"`
 	Pass      bool       `json:"pass"`
 }
@@ -72,6 +73,7 @@ func runCheck(baselinePath string, ops int, tolerance float64, outPath string) e
 		Date:      time.Now().UTC().Format(time.RFC3339),
 		Ops:       ops,
 		Tolerance: tolerance,
+		Env:       captureEnv(),
 		Pass:      true,
 	}
 	for _, b := range base.Results {

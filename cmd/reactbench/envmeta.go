@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"runtime"
+	"strings"
+)
+
+// benchEnv records the environment a measurement was taken in, embedded in
+// every check artifact so a regression report can be read next to the
+// hardware that produced it — a -40% "regression" on a 1-core CI runner
+// against a 16-core baseline is a provenance bug, not a code bug.
+type benchEnv struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	CPUModel   string `json:"cpu_model,omitempty"`
+}
+
+func captureEnv() benchEnv {
+	return benchEnv{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CPUModel:   cpuModel(),
+	}
+}
+
+// cpuModel best-effort reads the CPU model name from /proc/cpuinfo; empty
+// where that file does not exist (non-Linux).
+func cpuModel() string {
+	raw, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if rest, ok := strings.CutPrefix(line, "model name"); ok {
+			if i := strings.IndexByte(rest, ':'); i >= 0 {
+				return strings.TrimSpace(rest[i+1:])
+			}
+		}
+	}
+	return ""
+}

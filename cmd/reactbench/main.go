@@ -8,13 +8,20 @@
 //	reactbench -workers 1000 -tasks 1,10,100,1000 -cycles 1000,3000
 //	reactbench -workers 200 -tasks 200 -hungarian   # with optimality gaps
 //
-// With -check, it instead replays the BenchmarkEngineThroughput workload
-// (internal/experiments.RunEngineBench) for every shard configuration in
-// the committed baseline and exits non-zero when measured cycles/s falls
-// more than -tolerance below the committed number — the CI
-// throughput-regression gate:
+// With -check, it instead replays the committed benchmark baselines and
+// exits non-zero on regression — the CI throughput gate. Two gates run:
+// the engine gate (internal/experiments.RunEngineBench against
+// BENCH_engine.json, cycles/s per shard count) and the wire gate
+// (internal/experiments.RunWireBench against BENCH_wire.json, delivered
+// frames/s per connection count plus the codec's 0 allocs/op encode
+// contract):
 //
-//	reactbench -check -baseline BENCH_engine.json -tolerance 0.4 -check-out bench_check.json
+//	reactbench -check -baseline BENCH_engine.json -tolerance 0.4 -check-out bench_check.json \
+//	    -wire-baseline BENCH_wire.json -wire-out wire_check.json
+//
+// With -wire-record, it measures the wire grid and rewrites
+// -wire-baseline — how BENCH_wire.json is (re)produced on the reference
+// box.
 package main
 
 import (
@@ -51,11 +58,31 @@ func main() {
 	tolerance := flag.Float64("tolerance", 0.4, "allowed relative cycles/s deviation for -check")
 	checkOps := flag.Int("check-ops", 4000, "submit/complete cycles per shard configuration for -check")
 	checkOut := flag.String("check-out", "", "write the -check verdict as JSON to this file")
+	wireBaseline := flag.String("wire-baseline", "BENCH_wire.json", "committed wire baseline for -check / -wire-record")
+	wireOut := flag.String("wire-out", "", "write the wire -check verdict as JSON to this file")
+	wireRecord := flag.Bool("wire-record", false, "measure the wire grid and rewrite -wire-baseline instead of checking")
 	flag.Parse()
 
-	if *check {
-		if err := runCheck(*baseline, *checkOps, *tolerance, *checkOut); err != nil {
+	if *wireRecord {
+		if err := runWireRecord(*wireBaseline); err != nil {
 			fmt.Fprintln(os.Stderr, "reactbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *check {
+		// Run both gates even when the first fails: one CI pass should
+		// surface every regression, not the first one.
+		engineErr := runCheck(*baseline, *checkOps, *tolerance, *checkOut)
+		if engineErr != nil {
+			fmt.Fprintln(os.Stderr, "reactbench:", engineErr)
+		}
+		wireErr := runWireCheck(*wireBaseline, *tolerance, *wireOut)
+		if wireErr != nil {
+			fmt.Fprintln(os.Stderr, "reactbench:", wireErr)
+		}
+		if engineErr != nil || wireErr != nil {
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,275 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"testing"
+	"time"
+
+	"react/internal/experiments"
+	"react/internal/metrics"
+	"react/internal/wire"
+)
+
+// The wire gate replays the BenchmarkWireBroadcast / BenchmarkWireRequestReply
+// workload (internal/experiments.RunWireBench — the same runner the
+// benchmarks use) against the committed BENCH_wire.json and fails when
+// delivered frames/s drops more than the tolerance below the committed
+// number. It also holds the pooled codec to its zero-allocation contract:
+// steady-state encode of the hot frame shapes must report exactly 0
+// allocs/op via testing.AllocsPerRun.
+
+// wireBaselineFile mirrors BENCH_wire.json.
+type wireBaselineFile struct {
+	Benchmark string            `json:"benchmark"`
+	Env       benchEnv          `json:"env"`
+	Results   []wireBaselineRow `json:"results"`
+}
+
+type wireBaselineRow struct {
+	Shape          string  `json:"shape"`
+	Conns          int     `json:"conns"`
+	Frames         int     `json:"frames"`
+	FramesPerSec   float64 `json:"frames_per_sec"`
+	FramesPerFlush float64 `json:"frames_per_flush"`
+}
+
+// wireRecordConfigs is the fixed grid both -wire-record and the committed
+// baseline cover: each transport shape at 1, 64, and 1024 connections,
+// with frame counts chosen so every cell runs long enough to be stable
+// but the whole grid stays CI-cheap.
+var wireRecordConfigs = []experiments.WireBenchConfig{
+	{Shape: "broadcast", Conns: 1, Frames: 4000},
+	{Shape: "broadcast", Conns: 64, Frames: 1000},
+	{Shape: "broadcast", Conns: 1024, Frames: 200},
+	{Shape: "request-reply", Conns: 1, Frames: 2000},
+	{Shape: "request-reply", Conns: 64, Frames: 200},
+	{Shape: "request-reply", Conns: 1024, Frames: 20},
+}
+
+// wireMedianRounds is how many times each cell is measured, by record and
+// check alike; the median run is the one reported. Loopback throughput on
+// a busy box swings tens of percent run to run — a single sample on
+// either side of the comparison would make a -40% gate flake.
+const wireMedianRounds = 3
+
+// measureWireMedian runs cfg wireMedianRounds times and returns the run
+// with the median frames/s.
+func measureWireMedian(cfg experiments.WireBenchConfig) (experiments.WireBenchResult, error) {
+	runs := make([]experiments.WireBenchResult, 0, wireMedianRounds)
+	for i := 0; i < wireMedianRounds; i++ {
+		res, err := experiments.RunWireBench(cfg)
+		if err != nil {
+			return experiments.WireBenchResult{}, err
+		}
+		runs = append(runs, res)
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i].FramesPerSec < runs[j].FramesPerSec })
+	return runs[len(runs)/2], nil
+}
+
+// wireCheckRow is one baseline cell's verdict.
+type wireCheckRow struct {
+	Shape          string  `json:"shape"`
+	Conns          int     `json:"conns"`
+	BaselineFPS    float64 `json:"baseline_frames_per_sec"`
+	MeasuredFPS    float64 `json:"measured_frames_per_sec"`
+	Deviation      float64 `json:"deviation"` // (measured-baseline)/baseline
+	FramesPerFlush float64 `json:"frames_per_flush"`
+	OK             bool    `json:"ok"`
+	FailureReason  string  `json:"failure_reason,omitempty"`
+	Note           string  `json:"note,omitempty"`
+}
+
+// wireAllocRow is one frame shape's encoder-allocation verdict.
+type wireAllocRow struct {
+	Frame       string  `json:"frame"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	OK          bool    `json:"ok"`
+}
+
+// wireCheckArtifact is the JSON the CI step uploads for the wire gate.
+type wireCheckArtifact struct {
+	Baseline  string         `json:"baseline"`
+	Date      string         `json:"date"`
+	Tolerance float64        `json:"tolerance"`
+	Env       benchEnv       `json:"env"`
+	Rows      []wireCheckRow `json:"rows"`
+	Allocs    []wireAllocRow `json:"allocs"`
+	Pass      bool           `json:"pass"`
+}
+
+// hotFrames is the encode-allocation corpus: the push and submit frames the
+// steady state is made of, mirroring BenchmarkWireEncode.
+func hotFrames() []struct {
+	name string
+	m    wire.Message
+} {
+	return []struct {
+		name string
+		m    wire.Message
+	}{
+		{"assign", wire.Message{Type: "assignment", Assignment: &wire.AssignmentPayload{
+			TaskID: "t00001234", WorkerID: "w042", Category: "traffic",
+			Description: "is the on-ramp at exit 14 jammed?",
+			Lat:         37.9838, Lon: 23.7275, DeadlineMS: 60000, Reward: 0.25,
+		}}},
+		{"submit", wire.Message{Type: "submit", Seq: 7, Task: &wire.TaskPayload{
+			ID: "t00001234", Lat: 37.9838, Lon: 23.7275, DeadlineMS: 60000,
+			Reward: 0.25, Category: "traffic", Description: "is the on-ramp at exit 14 jammed?",
+		}}},
+		{"result", wire.Message{Type: "result", Result: &wire.ResultPayload{
+			TaskID: "t00001234", WorkerID: "w042", Answer: "yes, jammed", MetDeadline: true,
+		}}},
+		{"event", wire.Message{Type: "event", Event: &wire.EventPayload{
+			Seq: 991, Kind: "complete", TaskID: "t00001234", Worker: "w042",
+			AtUnixMS: 1754550000123, Status: "completed", MetDeadline: true, Attempts: 1,
+		}}},
+	}
+}
+
+// runWireRecord measures the full grid and (re)writes the baseline file —
+// how BENCH_wire.json is produced on the reference box.
+func runWireRecord(path string) error {
+	base := wireBaselineFile{
+		Benchmark: "BenchmarkWireBroadcast/BenchmarkWireRequestReply (experiments.RunWireBench)",
+		Env:       captureEnv(),
+	}
+	for _, cfg := range wireRecordConfigs {
+		res, err := measureWireMedian(cfg)
+		if err != nil {
+			return fmt.Errorf("wire-record: %s conns=%d: %w", cfg.Shape, cfg.Conns, err)
+		}
+		base.Results = append(base.Results, wireBaselineRow{
+			Shape:          res.Shape,
+			Conns:          res.Conns,
+			Frames:         res.Frames,
+			FramesPerSec:   res.FramesPerSec,
+			FramesPerFlush: res.FramesPerFlush,
+		})
+		fmt.Printf("recorded %s conns=%d: %.0f frames/s (%.1f frames/flush)\n",
+			res.Shape, res.Conns, res.FramesPerSec, res.FramesPerFlush)
+	}
+	blob, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return fmt.Errorf("wire-record: %w", err)
+	}
+	fmt.Printf("baseline written to %s\n", path)
+	return nil
+}
+
+// runWireCheck replays every baseline cell and the encoder allocs gate.
+// Exit is non-zero when any cell falls more than tolerance below its
+// committed frames/s or any hot frame's steady-state encode allocates.
+func runWireCheck(baselinePath string, tolerance float64, outPath string) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("wire-check: %w", err)
+	}
+	var base wireBaselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("wire-check: parse %s: %w", baselinePath, err)
+	}
+	if len(base.Results) == 0 {
+		return fmt.Errorf("wire-check: %s has no results", baselinePath)
+	}
+
+	art := wireCheckArtifact{
+		Baseline:  baselinePath,
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		Tolerance: tolerance,
+		Env:       captureEnv(),
+		Pass:      true,
+	}
+	for _, b := range base.Results {
+		res, err := measureWireMedian(experiments.WireBenchConfig{
+			Shape:  b.Shape,
+			Conns:  b.Conns,
+			Frames: b.Frames,
+		})
+		if err != nil {
+			return fmt.Errorf("wire-check: %s conns=%d: %w", b.Shape, b.Conns, err)
+		}
+		row := wireCheckRow{
+			Shape:          b.Shape,
+			Conns:          b.Conns,
+			BaselineFPS:    b.FramesPerSec,
+			MeasuredFPS:    res.FramesPerSec,
+			Deviation:      (res.FramesPerSec - b.FramesPerSec) / b.FramesPerSec,
+			FramesPerFlush: res.FramesPerFlush,
+			OK:             true,
+		}
+		switch {
+		case row.Deviation < -tolerance:
+			row.OK = false
+			row.FailureReason = fmt.Sprintf("frames/s %.0f is %+.0f%% off baseline %.0f (tolerance -%.0f%%)",
+				res.FramesPerSec, 100*row.Deviation, b.FramesPerSec, 100*tolerance)
+		case row.Deviation > tolerance:
+			row.Note = fmt.Sprintf("%.0f%% faster than baseline; consider re-recording with -wire-record", 100*row.Deviation)
+		}
+		if !row.OK {
+			art.Pass = false
+		}
+		art.Rows = append(art.Rows, row)
+	}
+
+	// The zero-allocation contract on steady-state encode: a reused buffer
+	// plus the pooled appenders must never touch the heap. One alloc here
+	// means someone reintroduced a fmt/reflect path on the frame hot loop.
+	for _, f := range hotFrames() {
+		f := f
+		buf := make([]byte, 0, 1024)
+		allocs := testing.AllocsPerRun(1000, func() {
+			buf = wire.AppendFrame(buf[:0], &f.m)
+		})
+		row := wireAllocRow{Frame: f.name, AllocsPerOp: allocs, OK: allocs == 0}
+		if !row.OK {
+			art.Pass = false
+		}
+		art.Allocs = append(art.Allocs, row)
+	}
+
+	table := metrics.NewTable("shape", "conns", "baseline_fps", "measured_fps", "deviation_pct", "frames/flush", "verdict")
+	for _, r := range art.Rows {
+		verdict := "ok"
+		switch {
+		case !r.OK:
+			verdict = "FAIL: " + r.FailureReason
+		case r.Note != "":
+			verdict = "ok (" + r.Note + ")"
+		}
+		table.AddRow(r.Shape, r.Conns, fmt.Sprintf("%.0f", r.BaselineFPS), fmt.Sprintf("%.0f", r.MeasuredFPS),
+			fmt.Sprintf("%+.1f", 100*r.Deviation), fmt.Sprintf("%.1f", r.FramesPerFlush), verdict)
+	}
+	if err := table.Write(os.Stdout); err != nil {
+		return err
+	}
+	for _, a := range art.Allocs {
+		verdict := "ok"
+		if !a.OK {
+			verdict = fmt.Sprintf("FAIL: %.1f allocs/op on steady-state encode (want 0)", a.AllocsPerOp)
+		}
+		fmt.Printf("encode %-7s %5.1f allocs/op  %s\n", a.Frame, a.AllocsPerOp, verdict)
+	}
+
+	if outPath != "" {
+		blob, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+			return fmt.Errorf("wire-check: write artifact: %w", err)
+		}
+		fmt.Printf("artifact written to %s\n", outPath)
+	}
+	if !art.Pass {
+		return fmt.Errorf("wire-check: wire throughput or encode allocations outside tolerance (see table)")
+	}
+	fmt.Printf("wire throughput within -%.0f%% of %s; steady-state encode allocation-free\n", 100*tolerance, baselinePath)
+	return nil
+}

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package experiments
+
+// ensureFDs is a no-op where rlimits do not exist; a too-small descriptor
+// table surfaces as a dial error from the run itself.
+func ensureFDs(need int) error { return nil }

@@ -1,0 +1,32 @@
+//go:build unix
+
+package experiments
+
+import (
+	"fmt"
+	"syscall"
+)
+
+// ensureFDs best-effort raises the soft open-file limit to at least need:
+// the 1024-connection wire benchmark uses ~3 descriptors per connection
+// (client socket, server socket, and headroom), which outruns the common
+// 1024-descriptor default soft limit. The hard limit is the ceiling; if
+// even that is too low, the benchmark fails loudly here instead of with a
+// confusing mid-run EMFILE.
+func ensureFDs(need int) error {
+	var lim syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &lim); err != nil {
+		return nil // can't inspect; let the run surface any EMFILE itself
+	}
+	if lim.Cur >= uint64(need) {
+		return nil
+	}
+	if lim.Max < uint64(need) {
+		return fmt.Errorf("wirebench: needs %d file descriptors but the hard limit is %d", need, lim.Max)
+	}
+	lim.Cur = uint64(need)
+	if err := syscall.Setrlimit(syscall.RLIMIT_NOFILE, &lim); err != nil {
+		return fmt.Errorf("wirebench: raise open-file soft limit to %d: %w", need, err)
+	}
+	return nil
+}

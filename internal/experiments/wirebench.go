@@ -1,0 +1,268 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"react/internal/clock"
+	"react/internal/core"
+	"react/internal/profile"
+	"react/internal/region"
+	"react/internal/taskq"
+	"react/internal/wire"
+)
+
+// WireBenchConfig shapes one wire-transport throughput run: the workload
+// behind the Benchmark_Wire* benchmarks and the `reactbench -check` wire
+// gate, shared so the CI gate measures exactly what the benchmarks measure.
+//
+// Two shapes cover the transport's two hot paths:
+//
+//   - "broadcast": Conns watcher connections subscribe with `watch`, then
+//     Frames result pushes fan out to every one of them. This is the
+//     event-storm path — a 10k-watcher fleet being told about completions —
+//     and the one write coalescing exists for: the cost target is O(conns)
+//     syscalls per flush interval, not O(conns × events).
+//   - "request-reply": Conns connections each round-trip Frames `ping`
+//     calls concurrently. This is the latency path; coalescing must not
+//     tax it (an idle connection's flusher writes immediately).
+type WireBenchConfig struct {
+	Shape string // "broadcast" or "request-reply" (default "broadcast")
+	Conns int    // concurrent client connections (default 1)
+	// Frames is, for "broadcast", the number of result pushes published
+	// (each is delivered to every connection); for "request-reply", the
+	// number of calls each connection performs. Default 1000.
+	Frames int
+	// Wall supplies wall time for the throughput measurement only.
+	// Default the system clock.
+	Wall clock.Clock
+}
+
+func (c WireBenchConfig) normalize() WireBenchConfig {
+	if c.Shape == "" {
+		c.Shape = "broadcast"
+	}
+	if c.Conns < 1 {
+		c.Conns = 1
+	}
+	if c.Frames <= 0 {
+		c.Frames = 1000
+	}
+	if c.Wall == nil {
+		c.Wall = clock.System{}
+	}
+	return c
+}
+
+// WireBenchResult is one run's measurements. FramesPerSec is the gated
+// quantity: delivered pushes per wall second (broadcast) or completed
+// round trips per wall second (request-reply). FramesPerFlush and
+// FlushesTotal describe how well the server coalesced (both zero on a
+// server predating coalescing).
+type WireBenchResult struct {
+	Shape          string  `json:"shape"`
+	Conns          int     `json:"conns"`
+	Frames         int     `json:"frames"`
+	DeliveredTotal int64   `json:"delivered_total"`
+	ElapsedNS      int64   `json:"elapsed_ns"`
+	FramesPerSec   float64 `json:"frames_per_sec"`
+	BytesWritten   int64   `json:"bytes_written"`
+	FlushesTotal   int64   `json:"flushes_total"`
+	FramesPerFlush float64 `json:"frames_per_flush"`
+}
+
+// wireNullBackend is the minimal wire.Backend the transport benchmark
+// serves: every request succeeds without touching a scheduling engine, so
+// the measured quantity is the wire layer alone — framing, queueing, and
+// syscalls — not matcher or task-store work.
+type wireNullBackend struct {
+	mu    sync.Mutex
+	feeds map[string]chan core.Assignment
+}
+
+func newWireNullBackend() *wireNullBackend {
+	return &wireNullBackend{feeds: make(map[string]chan core.Assignment)}
+}
+
+func (b *wireNullBackend) RegisterWorker(id string, loc region.Point) (<-chan core.Assignment, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.feeds[id]; ok {
+		return nil, profile.ErrDuplicateWorker
+	}
+	ch := make(chan core.Assignment)
+	b.feeds[id] = ch
+	return ch, nil
+}
+
+func (b *wireNullBackend) ReconnectWorker(id string) (<-chan core.Assignment, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ch, ok := b.feeds[id]
+	if !ok {
+		ch = make(chan core.Assignment)
+		b.feeds[id] = ch
+	}
+	return ch, nil
+}
+
+func (b *wireNullBackend) DeregisterWorker(id string) error { return b.drop(id) }
+func (b *wireNullBackend) DetachWorker(id string) error     { return b.drop(id) }
+
+func (b *wireNullBackend) drop(id string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ch, ok := b.feeds[id]; ok {
+		close(ch)
+		delete(b.feeds, id)
+	}
+	return nil
+}
+
+func (b *wireNullBackend) Worker(id string) (*profile.Profile, bool) { return nil, false }
+func (b *wireNullBackend) Submit(t taskq.Task) error                 { return nil }
+func (b *wireNullBackend) Complete(taskID, workerID, answer string) (core.Result, error) {
+	return core.Result{TaskID: taskID, WorkerID: workerID, Answer: answer, MetDeadline: true}, nil
+}
+func (b *wireNullBackend) Feedback(taskID string, positive bool) error { return nil }
+func (b *wireNullBackend) Stats() core.Stats                           { return core.Stats{} }
+func (b *wireNullBackend) Stop() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for id, ch := range b.feeds {
+		close(ch)
+		delete(b.feeds, id)
+	}
+}
+
+// RunWireBench drives one loopback client/server fleet through the
+// configured shape and reports delivered-frame throughput. Broadcast runs
+// publish cfg.Frames results through the server's watcher fan-out and wait
+// for every connection to drain all of them (client push queues are
+// unbounded, so nothing is lost and every run delivers exactly
+// Conns×Frames pushes); request-reply runs complete Conns×Frames ping
+// round trips.
+func RunWireBench(cfg WireBenchConfig) (WireBenchResult, error) {
+	cfg = cfg.normalize()
+	if err := ensureFDs(3*cfg.Conns + 64); err != nil {
+		return WireBenchResult{}, err
+	}
+	var relay wire.ResultRelay
+	srv, err := wire.ServeBackend("127.0.0.1:0", newWireNullBackend(), &relay)
+	if err != nil {
+		return WireBenchResult{}, err
+	}
+	defer srv.Close()
+
+	clients := make([]*wire.Client, cfg.Conns)
+	defer func() {
+		for _, cl := range clients {
+			if cl != nil {
+				cl.Close()
+			}
+		}
+	}()
+	for i := range clients {
+		cl, err := wire.Dial(srv.Addr())
+		if err != nil {
+			return WireBenchResult{}, fmt.Errorf("wirebench: dial conn %d: %w", i, err)
+		}
+		clients[i] = cl
+	}
+
+	res := WireBenchResult{Shape: cfg.Shape, Conns: cfg.Conns, Frames: cfg.Frames}
+	var delivered int64
+	var elapsed time.Duration
+	switch cfg.Shape {
+	case "broadcast":
+		delivered, elapsed, err = runWireBroadcast(cfg, &relay, clients)
+	case "request-reply":
+		delivered, elapsed, err = runWireRequestReply(cfg, clients)
+	default:
+		return WireBenchResult{}, fmt.Errorf("wirebench: unknown shape %q", cfg.Shape)
+	}
+	if err != nil {
+		return WireBenchResult{}, err
+	}
+
+	m := srv.Metrics()
+	res.DeliveredTotal = delivered
+	res.ElapsedNS = elapsed.Nanoseconds()
+	if secs := elapsed.Seconds(); secs > 0 {
+		res.FramesPerSec = float64(delivered) / secs
+	}
+	res.BytesWritten = m.BytesWritten
+	res.FlushesTotal = m.Flushes
+	if m.Flushes > 0 {
+		res.FramesPerFlush = float64(m.FramesWritten) / float64(m.Flushes)
+	}
+	return res, nil
+}
+
+func runWireBroadcast(cfg WireBenchConfig, relay *wire.ResultRelay, clients []*wire.Client) (int64, time.Duration, error) {
+	for i, cl := range clients {
+		if err := cl.Watch(); err != nil {
+			return 0, 0, fmt.Errorf("wirebench: watch conn %d: %w", i, err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(clients))
+	for i, cl := range clients {
+		wg.Add(1)
+		go func(i int, cl *wire.Client) {
+			defer wg.Done()
+			got := 0
+			for range cl.Results() {
+				got++
+				if got == cfg.Frames {
+					return
+				}
+			}
+			errs <- fmt.Errorf("wirebench: conn %d result feed closed after %d/%d frames", i, got, cfg.Frames)
+		}(i, cl)
+	}
+	start := cfg.Wall.Now()
+	for i := 0; i < cfg.Frames; i++ {
+		relay.Publish(core.Result{
+			TaskID:      fmt.Sprintf("t%08d", i),
+			WorkerID:    "w00",
+			Answer:      "yes, jammed",
+			MetDeadline: true,
+		})
+	}
+	wg.Wait()
+	elapsed := cfg.Wall.Now().Sub(start)
+	select {
+	case err := <-errs:
+		return 0, 0, err
+	default:
+	}
+	return int64(cfg.Conns) * int64(cfg.Frames), elapsed, nil
+}
+
+func runWireRequestReply(cfg WireBenchConfig, clients []*wire.Client) (int64, time.Duration, error) {
+	var wg sync.WaitGroup
+	errs := make(chan error, len(clients))
+	start := cfg.Wall.Now()
+	for i, cl := range clients {
+		wg.Add(1)
+		go func(i int, cl *wire.Client) {
+			defer wg.Done()
+			for n := 0; n < cfg.Frames; n++ {
+				if err := cl.Ping(); err != nil {
+					errs <- fmt.Errorf("wirebench: conn %d ping %d: %w", i, n, err)
+					return
+				}
+			}
+		}(i, cl)
+	}
+	wg.Wait()
+	elapsed := cfg.Wall.Now().Sub(start)
+	select {
+	case err := <-errs:
+		return 0, 0, err
+	default:
+	}
+	return int64(cfg.Conns) * int64(cfg.Frames), elapsed, nil
+}

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/parser"
 	"go/token"
 	"io/fs"
@@ -83,6 +84,13 @@ func LoadModule(root string) (*Module, error) {
 		}
 		if !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
 			return nil
+		}
+		// Respect build constraints for the host platform, like the
+		// compiler does: without this, both halves of a //go:build
+		// platform split reach the typed tier and every shared symbol
+		// looks redeclared.
+		if match, err := build.Default.MatchFile(filepath.Dir(path), name); err != nil || !match {
+			return err
 		}
 		ast, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
 		if err != nil {

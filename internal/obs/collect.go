@@ -31,6 +31,19 @@ const (
 	batchSizeHistogramBuckets = 128
 )
 
+// Flush instrument shapes: frames-per-flush counts 1..256 with overflow
+// beyond (a broadcast storm coalescing hundreds of frames into one write
+// is exactly what the overflow bucket should show), and flush latency uses
+// 0.5 ms buckets up to 100 ms — a healthy localhost write sits in the
+// first bucket; anything near the overflow is a wedged peer.
+const (
+	framesPerFlushHistogramWidth   = 1
+	framesPerFlushHistogramBuckets = 256
+
+	flushLatencyHistogramWidth   = 0.0005
+	flushLatencyHistogramBuckets = 200
+)
+
 // EngineCollector observes one scheduling engine through its event
 // spine: call Attach once the engine exists (it installs HandleEvent as
 // a bus tap), then Register to expose the instruments.
@@ -233,7 +246,10 @@ func (c *EngineCollector) Register(reg *metrics.Registry, eng *engine.Engine, la
 }
 
 // RegisterWireServer adds a wire transport's connection/frame counters
-// to reg.
+// plus its write-coalescing instruments to reg. It installs a flush
+// observer on srv, so every completed flush (from any connection's
+// writer) feeds the frames-per-flush and flush-latency histograms; call
+// it before traffic starts.
 func RegisterWireServer(reg *metrics.Registry, srv *wire.Server, labels ...metrics.Label) error {
 	snap := func(read func(wire.ServerMetrics) float64) func() float64 {
 		return func() float64 { return read(srv.Metrics()) }
@@ -259,12 +275,35 @@ func RegisterWireServer(reg *metrics.Registry, srv *wire.Server, labels ...metri
 		{"react_wire_frames_written_total", "frames written (responses + pushes)", func(m wire.ServerMetrics) float64 { return float64(m.FramesWritten) }},
 		{"react_wire_bad_frames_total", "inbound frames that failed to parse", func(m wire.ServerMetrics) float64 { return float64(m.BadFrames) }},
 		{"react_wire_errors_sent_total", "error responses sent", func(m wire.ServerMetrics) float64 { return float64(m.ErrorsSent) }},
+		{"react_wire_bytes_written_total", "bytes flushed to all connections", func(m wire.ServerMetrics) float64 { return float64(m.BytesWritten) }},
+		{"react_wire_flushes_total", "coalesced write syscalls across all connections", func(m wire.ServerMetrics) float64 { return float64(m.Flushes) }},
 	}
 	for _, c := range counters {
 		if err := reg.RegisterCounterFunc(c.name, c.help, snap(c.read), labels...); err != nil {
 			return err
 		}
 	}
+
+	framesPerFlush, err := metrics.NewHistogram(framesPerFlushHistogramWidth, framesPerFlushHistogramBuckets)
+	if err != nil {
+		panic(err) // constants above are valid by construction
+	}
+	flushLatency, err := metrics.NewHistogram(flushLatencyHistogramWidth, flushLatencyHistogramBuckets)
+	if err != nil {
+		panic(err)
+	}
+	if err := reg.RegisterHistogram("react_wire_frames_per_flush",
+		"frames coalesced into each write syscall", framesPerFlush, labels...); err != nil {
+		return err
+	}
+	if err := reg.RegisterHistogram("react_wire_flush_latency_seconds",
+		"wall time of each coalesced write syscall", flushLatency, labels...); err != nil {
+		return err
+	}
+	srv.SetFlushObserver(func(frames, bytes int, latencySeconds float64) {
+		framesPerFlush.Observe(float64(frames))
+		flushLatency.Observe(latencySeconds)
+	})
 	return nil
 }
 

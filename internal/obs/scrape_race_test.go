@@ -101,6 +101,10 @@ func TestScrapeUnderLoad(t *testing.T) {
 		`react_engine_tasks_received_total{region="all"} 30`,
 		`react_wire_connections_total `,
 		`react_engine_matcher_latency_seconds_count`,
+		`react_wire_bytes_written_total `,
+		`react_wire_flushes_total `,
+		`react_wire_frames_per_flush_count`,
+		`react_wire_flush_latency_seconds_count`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("final exposition missing %q", want)

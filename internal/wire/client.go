@@ -2,7 +2,6 @@ package wire
 
 import (
 	"bufio"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -65,8 +64,8 @@ type ClientMetrics struct {
 // correlated with responses by sequence number, so a timed-out call cannot
 // desync the ones that follow.
 type Client struct {
-	c   net.Conn
-	enc *json.Encoder
+	c net.Conn
+	w *connWriter // coalesces outbound request frames (flush.go)
 
 	reqMu sync.Mutex // one outstanding request at a time
 	resp  chan Message
@@ -96,7 +95,7 @@ func Dial(addr string) (*Client, error) {
 	}
 	cl := &Client{
 		c:      c,
-		enc:    json.NewEncoder(c),
+		w:      newConnWriter(c, writerConfig{}),
 		resp:   make(chan Message, 16),
 		closed: make(chan struct{}),
 	}
@@ -145,8 +144,10 @@ func (cl *Client) Metrics() ClientMetrics {
 }
 
 // Close tears down the connection; pending calls fail with ErrClosed.
+// The socket closes first so Close never waits on a wedged peer; the
+// writer is then stopped to reclaim its flusher goroutine.
 func (cl *Client) Close() error {
-	cl.closeOnce.Do(func() { close(cl.closed); cl.c.Close() })
+	cl.closeOnce.Do(func() { close(cl.closed); cl.c.Close(); cl.w.close() })
 	return nil
 }
 
@@ -158,27 +159,37 @@ func (cl *Client) overflowClose() { cl.Close() }
 func (cl *Client) readLoop() {
 	scanner := bufio.NewScanner(cl.c)
 	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var scr decodeScratch
 	for scanner.Scan() {
-		var m Message
-		if err := json.Unmarshal(scanner.Bytes(), &m); err != nil {
+		m, err := scr.decode(scanner.Bytes())
+		if err != nil {
 			continue // tolerate junk; the next frame resynchronizes
 		}
+		// Push payloads are pre-pointed decode scratch, so presence is the
+		// payload's key field, not pointer nilness; the pushQueue copies
+		// the value, never the scratch pointer.
 		switch m.Type {
 		case "assignment":
-			if m.Assignment != nil {
+			if m.Assignment.TaskID != "" {
 				cl.assignments.push(*m.Assignment)
 			}
 		case "result":
-			if m.Result != nil {
+			if m.Result.TaskID != "" {
 				cl.results.push(*m.Result)
 			}
 		case "event":
-			if m.Event != nil {
+			if m.Event.Kind != "" {
 				cl.events.push(*m.Event)
 			}
 		default: // ok / error responses
+			// The response escapes this loop to a waiting caller: copy it
+			// and drop the scratch-backed pointers (a response never
+			// carries them; Status/Stats/Regions are freshly allocated by
+			// the decoder when present, so the copy owns them).
+			resp := *m
+			resp.Task, resp.Assignment, resp.Result, resp.Event = nil, nil, nil, nil
 			select {
-			case cl.resp <- m:
+			case cl.resp <- resp:
 			default:
 				// No caller is waiting and the parking buffer is full —
 				// a protocol violation worth counting, not wedging on.
@@ -228,8 +239,10 @@ func (cl *Client) call(m Message) (Message, error) {
 	}
 	m.Seq = cl.seq.Add(1)
 	cl.lastSend.Store(time.Now().UnixNano())
-	//lint:ignore blockingunderlock reqMu exists to hold exactly one request/response exchange on the wire; encoding under it is the protocol
-	if err := cl.enc.Encode(m); err != nil {
+	fb := encodeFrame(&m)
+	err := cl.w.enqueue(fb.b, true) // inline: the caller blocks on the reply anyway
+	fb.release()
+	if err != nil {
 		return Message{}, err
 	}
 	timeout := time.NewTimer(time.Duration(cl.callTimeout.Load()))

@@ -1,0 +1,314 @@
+package wire
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"react/internal/clock"
+)
+
+// This file is the write-coalescing half of the wire hot path: every
+// connection owns a connWriter whose flusher goroutine group-commits
+// queued frames into single buffered writes, mirroring the journal's
+// group-commit shape (memory-only enqueue under a mutex, one flusher
+// draining on size threshold or interval, flush-on-close, sticky error).
+// A broadcast of E events to C connections therefore costs O(C) syscalls
+// per flush round instead of O(C×E): while one write syscall is in
+// flight, every frame queued behind it coalesces into the next.
+//
+// Request/reply traffic takes the inline path instead: enqueue(frame,
+// true) writes synchronously on the caller's goroutine when no writer is
+// active, so a lone RPC pays zero scheduler handoffs — identical latency
+// to the pre-coalescing synchronous write — while concurrent writers
+// still coalesce through the same swap-and-write critical section.
+
+const (
+	// defaultFlushBytes forces an early flush once this much is pending —
+	// roughly one socket buffer's worth, so a storm never builds a giant
+	// write.
+	defaultFlushBytes = 64 << 10
+
+	// defaultMaxPending bounds one connection's unflushed backlog. A peer
+	// that stops reading for long enough to pin this much memory is torn
+	// down (the server's detach path recovers any held task), mirroring
+	// the client-side pushQueue overflow rule.
+	defaultMaxPending = 64 << 20
+
+	// defaultWriteTimeout bounds one flush syscall, like the old
+	// per-frame write deadline did.
+	defaultWriteTimeout = 10 * time.Second
+
+	// closeFlushTimeout bounds the final flush-on-close write, so tearing
+	// down a wedged peer cannot stall teardown for the full write timeout.
+	closeFlushTimeout = 2 * time.Second
+)
+
+// writerConfig tunes one connection's coalescer. The zero value selects
+// the defaults above with eager flushing (Interval 0): the flusher runs as
+// soon as any frame is pending, so an idle connection's reply is written
+// immediately and batching emerges only while a write is already in
+// flight. Interval > 0 lingers instead — a flush below FlushBytes waits
+// until the oldest pending frame is Interval old (measured on Clock), the
+// journal's fsync-interval shape — trading bounded latency for bigger
+// batches.
+type writerConfig struct {
+	FlushBytes   int
+	Interval     time.Duration
+	MaxPending   int
+	WriteTimeout time.Duration
+	// Clock supplies the timebase for the linger decision and for flush
+	// latency measurement. Tests drive interval semantics with a virtual
+	// clock; the parked flusher's wall wait is only a wakeup bound.
+	Clock clock.Clock
+	// OnFlush, if set, observes every completed flush (frame count, byte
+	// count, syscall latency). Called from the flusher goroutine.
+	OnFlush func(frames, bytes int, elapsed time.Duration)
+}
+
+func (cfg writerConfig) normalize() writerConfig {
+	if cfg.FlushBytes <= 0 {
+		cfg.FlushBytes = defaultFlushBytes
+	}
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = defaultMaxPending
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = defaultWriteTimeout
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.System{}
+	}
+	return cfg
+}
+
+// errWriterOverflow is the sticky error recorded when a connection's
+// pending backlog passes MaxPending.
+var errWriterOverflow = errors.New("wire: write backlog overflow")
+
+// connWriter coalesces outbound frames for one connection. enqueue is
+// memory-only and safe from any goroutine; a single flusher goroutine
+// performs every write syscall. Frames flush in enqueue order, exactly
+// once; close flushes whatever is pending before returning, so the byte
+// stream a peer observes is identical to the pre-coalescing synchronous
+// one.
+type connWriter struct {
+	nc  net.Conn
+	cfg writerConfig
+
+	mu      sync.Mutex
+	cond    *sync.Cond // signals writing -> false
+	pending []byte     // frames queued since the last swap
+	frames  int        // frame count in pending
+	firstAt time.Time  // cfg.Clock instant the oldest pending frame arrived
+	spare   []byte     // recycled swap buffer
+	writing bool       // a flush's write syscall is in flight
+	err     error      // sticky: first write failure or overflow
+	closed  bool
+
+	kick chan struct{}
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+func newConnWriter(nc net.Conn, cfg writerConfig) *connWriter {
+	w := &connWriter{
+		nc:   nc,
+		cfg:  cfg.normalize(),
+		kick: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+	w.cond = sync.NewCond(&w.mu)
+	w.wg.Add(1)
+	go w.run()
+	return w
+}
+
+// enqueue appends one encoded frame to the pending buffer. The frame
+// bytes are copied, so pooled encode buffers can be released immediately.
+// Returns the sticky error once the writer has failed or closed — callers
+// treat that like the old synchronous write error (the socket is already
+// being torn down).
+//
+// With inline=false enqueue is memory-only and never blocks: the flusher
+// goroutine performs the write. With inline=true (and no linger interval)
+// the caller flushes synchronously before returning — the right shape for
+// request/reply frames, where the enqueueing goroutine is about to wait
+// for the peer anyway and a scheduler handoff would only add latency.
+func (w *connWriter) enqueue(frame []byte, inline bool) error {
+	w.mu.Lock()
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	if w.closed {
+		w.mu.Unlock()
+		return ErrClosed
+	}
+	if w.frames == 0 {
+		w.firstAt = w.cfg.Clock.Now()
+	}
+	w.pending = append(w.pending, frame...)
+	w.frames++
+	over := len(w.pending) > w.cfg.MaxPending
+	if over {
+		w.err = errWriterOverflow
+	}
+	w.mu.Unlock()
+	if over {
+		// The peer has not read for long enough to pin MaxPending bytes;
+		// closing the socket wakes its read loop, and teardown recovers
+		// any held task. Mirrors the client pushQueue overflow rule.
+		w.nc.Close()
+		return errWriterOverflow
+	}
+	if inline && w.cfg.Interval <= 0 {
+		return w.flush(w.cfg.WriteTimeout)
+	}
+	select {
+	case w.kick <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// run is the group-commit loop: park until a frame is pending, then flush
+// batches until drained. With a linger interval the flush waits until the
+// size threshold trips or the oldest frame is Interval old; eager mode
+// (Interval 0) flushes immediately, batching only what accumulated while
+// the previous write syscall was in flight.
+func (w *connWriter) run() {
+	defer w.wg.Done()
+	for {
+		select {
+		case <-w.done:
+			w.finalFlush()
+			return
+		case <-w.kick:
+		}
+		for {
+			wait, empty := w.lingerLeft()
+			if empty {
+				break // fully drained; park on the doorbell again
+			}
+			if wait > 0 {
+				// Linger: batch more frames before writing. The timer is a
+				// wall-clock wakeup bound; the decision itself re-reads the
+				// injected clock, so virtual-clock tests drive the boundary
+				// deterministically through enqueue kicks.
+				timer := time.NewTimer(wait)
+				select {
+				case <-w.done:
+					timer.Stop()
+					w.finalFlush()
+					return
+				case <-w.kick:
+					timer.Stop()
+				case <-timer.C:
+				}
+				continue
+			}
+			if w.flush(w.cfg.WriteTimeout) != nil {
+				return // sticky error recorded; the socket is closed
+			}
+		}
+	}
+}
+
+// lingerLeft reports how much longer the flusher should wait before
+// writing (0 = flush now), and whether nothing is pending at all.
+func (w *connWriter) lingerLeft() (wait time.Duration, empty bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.frames == 0 {
+		return 0, true
+	}
+	if w.cfg.Interval <= 0 || len(w.pending) >= w.cfg.FlushBytes {
+		return 0, false
+	}
+	age := w.cfg.Clock.Now().Sub(w.firstAt)
+	if age >= w.cfg.Interval {
+		return 0, false
+	}
+	return w.cfg.Interval - age, false
+}
+
+// flush swaps the pending buffer out under the mutex and writes it with a
+// single syscall. Both the flusher goroutine and inline enqueuers call
+// it; the writing flag makes exactly one of them the active writer while
+// the rest wait their turn (by which point their frames have usually been
+// carried out by the active writer's swap, and their own flush is empty).
+func (w *connWriter) flush(timeout time.Duration) error {
+	w.mu.Lock()
+	for w.writing {
+		// cond.Wait releases the mutex; the active writer's syscall is
+		// bounded by its write deadline, so the wait is too.
+		w.cond.Wait()
+	}
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	buf, frames := w.pending, w.frames
+	if len(buf) == 0 {
+		w.mu.Unlock()
+		return nil
+	}
+	w.pending, w.frames = w.spare[:0], 0
+	w.spare = nil
+	w.writing = true
+	w.mu.Unlock()
+	start := w.cfg.Clock.Now()
+	w.nc.SetWriteDeadline(time.Now().Add(timeout))
+	//lint:ignore blockingunderlock an inline flush runs on the caller's goroutine, which may hold Client.reqMu — the one-in-flight-call design; the write deadline above bounds the hold
+	_, err := w.nc.Write(buf)
+	elapsed := w.cfg.Clock.Now().Sub(start)
+	w.mu.Lock()
+	w.writing = false
+	w.cond.Broadcast()
+	if err != nil {
+		if w.err == nil {
+			w.err = err // sticky: every later enqueue returns this
+		}
+		err = w.err
+		w.mu.Unlock()
+		// Closing the socket wakes the connection's read loop so normal
+		// teardown runs.
+		w.nc.Close()
+		return err
+	}
+	if w.spare == nil && cap(buf) <= maxPooledFrame*4 {
+		w.spare = buf[:0] // recycle; oversized storm buffers are let go
+	}
+	w.mu.Unlock()
+	if w.cfg.OnFlush != nil {
+		w.cfg.OnFlush(frames, len(buf), elapsed)
+	}
+	return nil
+}
+
+// finalFlush drains what close() left pending, with a short deadline so a
+// wedged peer cannot stall teardown. Linger never applies: close means
+// "write it now".
+func (w *connWriter) finalFlush() {
+	w.flush(closeFlushTimeout)
+}
+
+// close stops the flusher after one final flush of everything enqueued
+// before the call, then returns. It does not close the socket — callers
+// own that — so a graceful teardown can flush, then close, and lose
+// nothing. Idempotent.
+func (w *connWriter) close() {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.closed = true
+	w.mu.Unlock()
+	close(w.done)
+	w.wg.Wait()
+}

@@ -1,0 +1,268 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"react/internal/clock"
+	"react/internal/core"
+)
+
+// memConn is a net.Conn sink for coalescer tests: Write appends to an
+// in-memory buffer so a test can compare the exact byte stream a peer
+// would have observed.
+type memConn struct {
+	mu     sync.Mutex
+	buf    bytes.Buffer
+	writes int
+	closed bool
+}
+
+func (c *memConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, errors.New("memConn: closed")
+	}
+	c.writes++
+	return c.buf.Write(p)
+}
+
+func (c *memConn) snapshot() (string, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.buf.String(), c.writes
+}
+
+func (c *memConn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	return nil
+}
+
+func (c *memConn) Read([]byte) (int, error)           { return 0, errors.New("memConn: not readable") }
+func (c *memConn) LocalAddr() net.Addr                { return nil }
+func (c *memConn) RemoteAddr() net.Addr               { return nil }
+func (c *memConn) SetDeadline(time.Time) error        { return nil }
+func (c *memConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *memConn) SetWriteDeadline(t time.Time) error { return nil }
+
+// TestConnWriterCloseFlushesInOrder is the no-frame-left-behind gate:
+// frames enqueued through both the async and inline paths must reach the
+// peer exactly once, in enqueue order, with close() draining whatever the
+// flusher had not written yet — the byte stream equals what the
+// pre-coalescing synchronous writer produced.
+func TestConnWriterCloseFlushesInOrder(t *testing.T) {
+	nc := &memConn{}
+	w := newConnWriter(nc, writerConfig{})
+	var want bytes.Buffer
+	for i := 0; i < 200; i++ {
+		frame := []byte(fmt.Sprintf(`{"type":"event","seq":%d}`+"\n", i))
+		want.Write(frame)
+		if err := w.enqueue(frame, i%3 == 0); err != nil {
+			t.Fatalf("enqueue %d: %v", i, err)
+		}
+	}
+	w.close()
+	got, writes := nc.snapshot()
+	if got != want.String() {
+		t.Fatalf("byte stream diverged from synchronous order:\n got %d bytes\nwant %d bytes", len(got), want.Len())
+	}
+	if writes >= 200 {
+		t.Errorf("no coalescing happened: %d writes for 200 frames", writes)
+	}
+	if err := w.enqueue([]byte("late\n"), false); !errors.Is(err, ErrClosed) {
+		t.Errorf("enqueue after close = %v, want ErrClosed", err)
+	}
+}
+
+// TestConnWriterSizeTrigger pins the FlushBytes boundary: below it the
+// linger holds the frames back, reaching it flushes immediately — one
+// write carrying both frames.
+func TestConnWriterSizeTrigger(t *testing.T) {
+	f1 := []byte("frame-one-frame-one\n")
+	f2 := []byte("frame-two-frame-two\n")
+	nc := &memConn{}
+	flushed := make(chan int, 8)
+	w := newConnWriter(nc, writerConfig{
+		FlushBytes: len(f1) + len(f2),
+		Interval:   time.Hour,
+		Clock:      clock.NewVirtual(time.Unix(0, 0)),
+		OnFlush:    func(frames, bytes int, elapsed time.Duration) { flushed <- frames },
+	})
+	defer w.close()
+	if err := w.enqueue(f1, false); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-flushed:
+		t.Fatalf("flushed %d frames below the size threshold with an hour of linger left", n)
+	case <-time.After(30 * time.Millisecond):
+	}
+	if err := w.enqueue(f2, false); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-flushed:
+		if n != 2 {
+			t.Fatalf("size-triggered flush carried %d frames, want 2", n)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("size threshold reached but nothing flushed")
+	}
+	if got, writes := nc.snapshot(); got != string(f1)+string(f2) || writes != 1 {
+		t.Fatalf("want one write of both frames, got %d writes of %q", writes, got)
+	}
+}
+
+// TestConnWriterIntervalTrigger pins the linger boundary on a virtual
+// clock: while the oldest pending frame is younger than Interval nothing
+// is written, and the first enqueue at or past the boundary flushes the
+// whole batch together.
+func TestConnWriterIntervalTrigger(t *testing.T) {
+	vc := clock.NewVirtual(time.Unix(0, 0))
+	nc := &memConn{}
+	flushed := make(chan int, 8)
+	w := newConnWriter(nc, writerConfig{
+		FlushBytes: 1 << 20,
+		Interval:   100 * time.Millisecond,
+		Clock:      vc,
+		OnFlush:    func(frames, bytes int, elapsed time.Duration) { flushed <- frames },
+	})
+	defer w.close()
+	if err := w.enqueue([]byte("a\n"), false); err != nil {
+		t.Fatal(err)
+	}
+	vc.Advance(99 * time.Millisecond) // just inside the linger window
+	if err := w.enqueue([]byte("b\n"), false); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-flushed:
+		t.Fatalf("flushed %d frames before the interval elapsed on the virtual clock", n)
+	case <-time.After(30 * time.Millisecond):
+	}
+	vc.Advance(1 * time.Millisecond) // boundary: the oldest frame is now exactly Interval old
+	if err := w.enqueue([]byte("c\n"), false); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-flushed:
+		if n != 3 {
+			t.Fatalf("interval-triggered flush carried %d frames, want all 3", n)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("interval elapsed but nothing flushed")
+	}
+	if got, _ := nc.snapshot(); got != "a\nb\nc\n" {
+		t.Fatalf("stream = %q, want frames in enqueue order", got)
+	}
+}
+
+// TestConnWriterOverflow wedges the peer (nobody reads the pipe) and
+// checks the MaxPending backstop: the enqueue that crosses the bound gets
+// the overflow error, the socket is closed to wake the read side, and the
+// error is sticky.
+func TestConnWriterOverflow(t *testing.T) {
+	ours, theirs := net.Pipe() // unread: the first flush write blocks forever
+	defer theirs.Close()
+	w := newConnWriter(ours, writerConfig{MaxPending: 256, WriteTimeout: time.Hour})
+	defer w.close()
+	frame := bytes.Repeat([]byte{'x'}, 64)
+	var overflowed error
+	for i := 0; i < 64 && overflowed == nil; i++ {
+		overflowed = w.enqueue(frame, false)
+	}
+	if !errors.Is(overflowed, errWriterOverflow) {
+		t.Fatalf("backlog never overflowed: %v", overflowed)
+	}
+	if err := w.enqueue(frame, false); !errors.Is(err, errWriterOverflow) {
+		t.Errorf("overflow error not sticky: %v", err)
+	}
+	// The socket was closed, so the peer's (blocked) read side wakes.
+	theirs.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 4096)
+	for {
+		if _, err := theirs.Read(buf); err != nil {
+			break // closed pipe surfaces here; a deadline error would fail below
+		}
+	}
+	if _, err := ours.Write([]byte("x")); err == nil {
+		t.Error("socket still writable after overflow teardown")
+	}
+}
+
+// TestConnWriterWriteErrorSticky forces a write failure and checks every
+// later enqueue reports it rather than silently dropping frames.
+func TestConnWriterWriteErrorSticky(t *testing.T) {
+	nc := &memConn{}
+	nc.Close() // every Write fails from the start
+	w := newConnWriter(nc, writerConfig{})
+	defer w.close()
+	var got error
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if got = w.enqueue([]byte("f\n"), true); got != nil {
+			break
+		}
+	}
+	if got == nil {
+		t.Fatal("write failures never surfaced to enqueue")
+	}
+}
+
+// TestBroadcastStormRace floods 1024 watcher connections through the real
+// server and coalescing writers; under -race it is the concurrency gate
+// for the broadcast fan-out path (encode-once frame sharing, per-conn
+// flushers, inline replies racing pushes). Every watcher must see every
+// frame — coalescing may merge writes, never drop or reorder them.
+func TestBroadcastStormRace(t *testing.T) {
+	watchers, results := 1024, 30
+	if testing.Short() {
+		watchers = 64
+	}
+	var relay ResultRelay
+	s, err := ServeBackend("127.0.0.1:0", noEventsBackend{}, &relay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < watchers; i++ {
+		cl := dial(t, s)
+		if err := cl.Watch(); err != nil {
+			t.Fatalf("watch %d: %v", i, err)
+		}
+		wg.Add(1)
+		go func(i int, cl *Client) {
+			defer wg.Done()
+			for seen := 0; seen < results; seen++ {
+				select {
+				case res, ok := <-cl.Results():
+					if !ok {
+						t.Errorf("watcher %d feed closed after %d/%d frames", i, seen, results)
+						return
+					}
+					if want := fmt.Sprintf("t%04d", seen); res.TaskID != want {
+						t.Errorf("watcher %d frame %d: got %q, want %q (reordered or dropped)", i, seen, res.TaskID, want)
+						return
+					}
+				case <-time.After(60 * time.Second):
+					t.Errorf("watcher %d stalled at %d/%d frames", i, seen, results)
+					return
+				}
+			}
+		}(i, cl)
+	}
+	for i := 0; i < results; i++ {
+		relay.Publish(core.Result{TaskID: fmt.Sprintf("t%04d", i), WorkerID: "w", Answer: "y", MetDeadline: true})
+	}
+	wg.Wait()
+}

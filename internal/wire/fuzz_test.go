@@ -1,7 +1,9 @@
 package wire
 
 import (
+	"bytes"
 	"encoding/json"
+	"reflect"
 	"testing"
 	"time"
 )
@@ -40,6 +42,64 @@ func FuzzMessageDecode(f *testing.F) {
 		if m.Task != nil {
 			task := m.Task.Task(time.Now())
 			_ = task.Deadline // arbitrary DeadlineMS must not panic
+		}
+	})
+}
+
+// FuzzFrameDecode holds the pooled codec to the encoding/json contract on
+// arbitrary bytes: whenever encoding/json accepts a frame, the scratch
+// decoder must accept it and agree on every field; whatever decodes must
+// re-encode through appendFrame as a single line whose meaning is a fixed
+// point (encode -> decode -> encode is byte-stable). This is the fuzzer
+// the nightly workflow runs against the hand-written encoder.
+func FuzzFrameDecode(f *testing.F) {
+	for _, m := range codecCorpus() {
+		m := m
+		f.Add(AppendFrame(nil, &m))
+	}
+	seeds := []string{
+		`{"type":"register","worker":"alice","lat":37.98,"lon":23.73}`,
+		`{"type":"submit","task":{"id":"t1","deadline_ms":60000}}`,
+		`{"type":"ok","seq":18446744073709551615}`,
+		`{"type":"move","lat":5e-324,"lon":-1.7976931348623157e308}`,
+		`{"type":"complete","seq":42,"answer":5}`,
+		`{"seq":1e20}`,
+		`not json`,
+		`{}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var scr decodeScratch
+		m, scratchErr := scr.decode(data)
+
+		var std Message
+		stdErr := json.Unmarshal(data, &std)
+		if stdErr == nil && scratchErr != nil {
+			t.Fatalf("encoding/json accepts %q but scratch decoder rejects it: %v", data, scratchErr)
+		}
+		if scratchErr != nil {
+			return
+		}
+		if stdErr == nil {
+			got, want := normalizePresence(*m), normalizePresence(std)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("decoders disagree on %q:\nscratch: %+v\n    std: %+v", data, got, want)
+			}
+		}
+
+		frame := AppendFrame(nil, m)
+		if frame[len(frame)-1] != '\n' || bytes.IndexByte(frame[:len(frame)-1], '\n') >= 0 {
+			t.Fatalf("re-encoded frame is not exactly one line: %q", frame)
+		}
+		var scr2 decodeScratch
+		m2, err := scr2.decode(frame)
+		if err != nil {
+			t.Fatalf("appendFrame output %q does not decode: %v", frame, err)
+		}
+		if frame2 := AppendFrame(nil, m2); !bytes.Equal(frame, frame2) {
+			t.Fatalf("encode is not a fixed point:\nfirst:  %q\nsecond: %q", frame, frame2)
 		}
 	})
 }

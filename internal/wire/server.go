@@ -2,7 +2,6 @@ package wire
 
 import (
 	"bufio"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -85,12 +84,24 @@ type Server struct {
 	idle atomic.Int64 // per-connection read deadline (ns); <=0 disables
 
 	// Transport-level health counters, snapshotted by Metrics for the
-	// observability plane. Atomics: the read loops bump them per frame.
+	// observability plane. Atomics: the read loops bump them per frame,
+	// the per-connection flushers per flush.
 	connsTotal    atomic.Int64
 	framesRead    atomic.Int64
 	framesWritten atomic.Int64
 	badFrames     atomic.Int64
 	errorsSent    atomic.Int64
+	bytesWritten  atomic.Int64
+	flushes       atomic.Int64
+
+	// flushObs, when set, receives every flush's shape (frame count, byte
+	// count, syscall latency in seconds) — how the observability plane
+	// builds its frames-per-flush and flush-latency histograms.
+	flushObs atomic.Value // func(frames, bytes int, latencySeconds float64)
+
+	// writerCfg is the coalescer template stamped onto new connections.
+	// Tests tweak it (interval, thresholds) before traffic starts.
+	writerCfg writerConfig
 
 	mu       sync.Mutex
 	watchers map[*conn]struct{}
@@ -108,6 +119,8 @@ type ServerMetrics struct {
 	FramesWritten int64 // frames written (responses + pushes)
 	BadFrames     int64 // inbound frames that failed to parse
 	ErrorsSent    int64 // "error" responses sent
+	BytesWritten  int64 // frame bytes flushed onto sockets
+	Flushes       int64 // coalesced write syscalls (FramesWritten/Flushes = batching factor)
 }
 
 // Metrics snapshots the transport counters.
@@ -123,14 +136,36 @@ func (s *Server) Metrics() ServerMetrics {
 		FramesWritten: s.framesWritten.Load(),
 		BadFrames:     s.badFrames.Load(),
 		ErrorsSent:    s.errorsSent.Load(),
+		BytesWritten:  s.bytesWritten.Load(),
+		Flushes:       s.flushes.Load(),
+	}
+}
+
+// SetFlushObserver installs a callback receiving every connection flush's
+// shape: frames coalesced, bytes written, and write-syscall latency in
+// seconds. The observability plane feeds histograms from it.
+func (s *Server) SetFlushObserver(fn func(frames, bytes int, latencySeconds float64)) {
+	if fn != nil {
+		s.flushObs.Store(fn)
+	}
+}
+
+// observeFlush is every connection writer's OnFlush hook: it aggregates
+// the transport counters and forwards to the installed observer.
+func (s *Server) observeFlush(frames, bytes int, elapsed time.Duration) {
+	s.framesWritten.Add(int64(frames))
+	s.bytesWritten.Add(int64(bytes))
+	s.flushes.Add(1)
+	if obs, _ := s.flushObs.Load().(func(int, int, float64)); obs != nil {
+		obs(frames, bytes, elapsed.Seconds())
 	}
 }
 
 type conn struct {
 	c      net.Conn
-	enc    *json.Encoder
-	wmu    sync.Mutex
-	worker string // non-empty once registered
+	w      *connWriter   // coalesces every outbound frame (flush.go)
+	scr    decodeScratch // reusable decode state; readLoop-only
+	worker string        // non-empty once registered
 	srv    *Server
 
 	evMu  sync.Mutex
@@ -230,7 +265,10 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
-		c := &conn{c: nc, enc: json.NewEncoder(nc), srv: s}
+		c := &conn{c: nc, srv: s}
+		wcfg := s.writerCfg
+		wcfg.OnFlush = s.observeFlush
+		c.w = newConnWriter(nc, wcfg)
 		s.connsTotal.Add(1)
 		s.mu.Lock()
 		if s.closed {
@@ -252,8 +290,12 @@ func (s *Server) broadcast(m Message) {
 		targets = append(targets, c)
 	}
 	s.mu.Unlock()
+	// Encode once, enqueue the same bytes everywhere: a broadcast to 10k
+	// watchers costs one encode, and each connection's flusher coalesces
+	// it with whatever else is in flight there.
+	fb := encodeFrame(&m)
 	for _, c := range targets {
-		if err := c.send(m); err != nil {
+		if err := c.w.enqueue(fb.b, false); err != nil {
 			// A watcher that cannot be written to is dead or wedged.
 			// Close its socket so the read loop errors out and teardown
 			// removes it from s.watchers — a write error alone never
@@ -262,17 +304,16 @@ func (s *Server) broadcast(m Message) {
 			c.c.Close()
 		}
 	}
+	fb.release()
 }
 
+// send frames m and hands it to the connection's coalescer; the flusher
+// performs the actual write. An error is the writer's sticky failure —
+// the socket is already being torn down.
 func (c *conn) send(m Message) error {
-	c.wmu.Lock()
-	defer c.wmu.Unlock()
-	c.c.SetWriteDeadline(time.Now().Add(10 * time.Second))
-	//lint:ignore blockingunderlock wmu serializes whole frames onto the socket; the write deadline above bounds the hold
-	err := c.enc.Encode(m)
-	if err == nil {
-		c.srv.framesWritten.Add(1)
-	}
+	fb := encodeFrame(&m)
+	err := c.w.enqueue(fb.b, true) // inline: a reply should reach the waiting peer now
+	fb.release()
 	return err
 }
 
@@ -306,8 +347,8 @@ func (c *conn) readLoop() {
 			return // EOF, error, or idle deadline
 		}
 		c.srv.framesRead.Add(1)
-		var m Message
-		if err := json.Unmarshal(scanner.Bytes(), &m); err != nil {
+		m, err := c.scr.decode(scanner.Bytes())
+		if err != nil {
 			c.srv.badFrames.Add(1)
 			c.srv.errorsSent.Add(1)
 			c.send(Message{Type: "error", Seq: m.Seq, Error: "bad message: " + err.Error()})
@@ -317,7 +358,7 @@ func (c *conn) readLoop() {
 	}
 }
 
-func (c *conn) handle(m Message) {
+func (c *conn) handle(m *Message) {
 	s := c.srv
 	switch m.Type {
 	case "register":
@@ -547,6 +588,11 @@ func (c *conn) teardown() {
 	delete(s.conns, c)
 	closed := s.closed
 	s.mu.Unlock()
+	// Flush-on-close before the socket drops: a reply enqueued just before
+	// the peer's EOF (deregister, a final stats answer) still reaches a
+	// peer that is shutting down write-first. The final flush is bounded,
+	// so a wedged peer cannot stall teardown.
+	c.w.close()
 	c.c.Close()
 	if c.worker != "" && !closed {
 		// A vanished worker's held task goes back to the pool; the profile
