@@ -3,16 +3,17 @@
 GO ?= go
 # Packages with real goroutine concurrency; the race detector gates them
 # on every change.
-RACE_PKGS = ./internal/engine ./internal/core ./internal/wire ./internal/federation ./internal/taskq ./internal/faultnet ./internal/obs ./internal/journal ./internal/event ./internal/trace
+RACE_PKGS = ./internal/engine ./internal/core ./internal/wire ./internal/federation ./internal/taskq ./internal/faultnet ./internal/obs ./internal/journal ./internal/event ./internal/trace ./internal/admission
 # Packages whose statement coverage must not fall below COVER_FLOOR; the
 # scheduling engine and the metrics layer are the paper's core claims,
 # the linter is the gate everything else leans on, the journal is what
-# crash recovery trusts, and the event spine is what every consumer of
-# lifecycle state (journal, trace, obs, wire) now rides on.
-COVER_PKGS = internal/engine internal/metrics internal/lint internal/journal internal/event internal/trace
+# crash recovery trusts, the event spine is what every consumer of
+# lifecycle state (journal, trace, obs, wire) now rides on, and the
+# admission plane decides which tasks are turned away at the door.
+COVER_PKGS = internal/engine internal/metrics internal/lint internal/journal internal/event internal/trace internal/admission
 COVER_FLOOR = 70
 
-.PHONY: all build lint lint-typed lockorder lockorder-check vet test race chaos recovery determinism bench wire-baseline fuzz coverage ci
+.PHONY: all build lint lint-typed lockorder lockorder-check vet test race chaos recovery determinism bench wire-baseline overload overload-baseline fuzz coverage ci
 
 all: build lint test
 
@@ -87,16 +88,28 @@ determinism:
 
 # Benchmark gate: first a 1x smoke that the benchmark harnesses still run,
 # then the in-process throughput checks against the committed baselines
-# (BENCH_engine.json and BENCH_wire.json, -40% tolerance each, plus the
-# codec's 0 allocs/op encode contract). bench_check.json and
-# wire_check.json are the CI artifacts.
+# (BENCH_engine.json, BENCH_wire.json, and BENCH_overload.json, -40%
+# tolerance each, plus the codec's 0 allocs/op encode contract and the
+# admission plane's 70%-goodput-at-10x floor). bench_check.json,
+# wire_check.json, and overload_check.json are the CI artifacts.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngineThroughput|BenchmarkWireEncode' -benchtime 1x .
-	$(GO) run ./cmd/reactbench -check -check-out bench_check.json -wire-out wire_check.json
+	$(GO) run ./cmd/reactbench -check -check-out bench_check.json -wire-out wire_check.json -overload-out overload_check.json
+
+# Just the admission overload gate: replay BENCH_overload.json in virtual
+# time (deterministic — same numbers on any machine) and enforce the
+# goodput floor. docs/ADMISSION.md explains the experiment.
+overload:
+	$(GO) run ./cmd/reactbench -overload-check -overload-out overload_check.json
 
 # Re-measure the wire grid on this box and rewrite BENCH_wire.json.
 wire-baseline:
 	$(GO) run ./cmd/reactbench -wire-record
+
+# Re-run the virtual-time overload experiment and rewrite
+# BENCH_overload.json (bit-reproducible anywhere).
+overload-baseline:
+	$(GO) run ./cmd/reactbench -overload-record
 
 # Short fuzz budgets over the frame codec and the journal decoder — the
 # nightly workflow's fast leg, runnable locally. FUZZTIME scales it.

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"react/internal/experiments"
+	"react/internal/metrics"
+)
+
+// overloadBaselineFile mirrors BENCH_overload.json: the committed
+// three-arm overload experiment (1x baseline, 10x with admission off,
+// 10x with admission on). The experiment runs entirely in virtual time,
+// so unlike the engine and wire baselines these numbers are
+// bit-reproducible anywhere; Env is recorded for provenance, not
+// normalization.
+type overloadBaselineFile struct {
+	Benchmark string                          `json:"benchmark"`
+	Recorded  string                          `json:"recorded"`
+	Env       benchEnv                        `json:"env"`
+	Result    experiments.OverloadBenchResult `json:"result"`
+}
+
+// overloadConfigFrom rebuilds the bench configuration from the recorded
+// baseline, so a re-recorded file with different parameters is replayed
+// with those parameters.
+func overloadConfigFrom(r experiments.OverloadBenchResult) experiments.OverloadBenchConfig {
+	return experiments.OverloadBenchConfig{
+		Workers:        r.Workers,
+		Duration:       time.Duration(r.DurationSeconds * float64(time.Second)),
+		BaseRate:       r.BaseRate,
+		OverloadFactor: r.OverloadFactor,
+		Deadline:       time.Duration(r.DeadlineSeconds * float64(time.Second)),
+		TightEvery:     r.TightEvery,
+		TightDeadline:  time.Duration(r.TightDeadlineS * float64(time.Second)),
+		Seed:           r.Seed,
+	}
+}
+
+// runOverloadRecord measures the overload experiment with the default
+// configuration and rewrites the baseline file.
+func runOverloadRecord(path string) error {
+	res, err := experiments.RunOverloadBench(experiments.OverloadBenchConfig{})
+	if err != nil {
+		return fmt.Errorf("overload-record: %w", err)
+	}
+	file := overloadBaselineFile{
+		Benchmark: "RunOverloadBench",
+		Recorded:  time.Now().UTC().Format(time.RFC3339),
+		Env:       captureEnv(),
+		Result:    res,
+	}
+	blob, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return fmt.Errorf("overload-record: %w", err)
+	}
+	fmt.Printf("overload baseline written to %s (goodput ratio on=%.2f off=%.2f)\n",
+		path, res.GoodputRatioOn, res.GoodputRatioOff)
+	return nil
+}
+
+// overloadCheckArtifact is the JSON verdict the CI step uploads.
+type overloadCheckArtifact struct {
+	Baseline  string                          `json:"baseline"`
+	Date      string                          `json:"date"`
+	Tolerance float64                         `json:"tolerance"`
+	Env       benchEnv                        `json:"env"`
+	Measured  experiments.OverloadBenchResult `json:"measured"`
+	Failures  []string                        `json:"failures,omitempty"`
+	Pass      bool                            `json:"pass"`
+}
+
+// runOverloadCheck replays the committed overload experiment and enforces
+// the admission plane's headline claims: at OverloadFactor-times offered
+// load with admission on, goodput stays at >= 70% of the 1x baseline and
+// at worst `tolerance` below the committed admission-on goodput, and the
+// unassigned pool stays bounded by the in-flight ceiling while the
+// admission-off arm's balloons past it.
+func runOverloadCheck(baselinePath string, tolerance float64, outPath string) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("overload-check: %w", err)
+	}
+	var base overloadBaselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("overload-check: parse %s: %w", baselinePath, err)
+	}
+
+	res, err := experiments.RunOverloadBench(overloadConfigFrom(base.Result))
+	if err != nil {
+		return fmt.Errorf("overload-check: %w", err)
+	}
+
+	art := overloadCheckArtifact{
+		Baseline:  baselinePath,
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		Tolerance: tolerance,
+		Env:       captureEnv(),
+		Measured:  res,
+		Pass:      true,
+	}
+	fail := func(format string, args ...any) {
+		art.Failures = append(art.Failures, fmt.Sprintf(format, args...))
+		art.Pass = false
+	}
+	if res.GoodputRatioOn < 0.7 {
+		fail("admission-on goodput ratio %.3f below the 0.7 floor", res.GoodputRatioOn)
+	}
+	if floor := base.Result.OverloadOn.GoodputPerSec * (1 - tolerance); res.OverloadOn.GoodputPerSec < floor {
+		fail("admission-on goodput %.2f/s below baseline %.2f/s - %.0f%%",
+			res.OverloadOn.GoodputPerSec, base.Result.OverloadOn.GoodputPerSec, 100*tolerance)
+	}
+	if hw := res.OverloadOn.UnassignedHighWater; hw > 2*res.Workers {
+		fail("admission-on unassigned high-water %d exceeds the 2x-fleet ceiling %d", hw, 2*res.Workers)
+	}
+	if res.OverloadOn.UnassignedHighWater >= res.OverloadOff.UnassignedHighWater {
+		fail("admission-on high-water %d not below admission-off %d — the plane is not bounding the pool",
+			res.OverloadOn.UnassignedHighWater, res.OverloadOff.UnassignedHighWater)
+	}
+
+	table := metrics.NewTable("arm", "offered", "submitted", "on_time", "goodput/s", "expired", "shed", "unassigned_hw")
+	for _, a := range []experiments.OverloadArmResult{res.Baseline, res.OverloadOff, res.OverloadOn} {
+		table.AddRow(a.Name, a.Offered, a.Submitted, a.OnTime,
+			fmt.Sprintf("%.2f", a.GoodputPerSec), a.Expired, a.Shed, a.UnassignedHighWater)
+	}
+	if err := table.Write(os.Stdout); err != nil {
+		return err
+	}
+
+	if outPath != "" {
+		blob, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+			return fmt.Errorf("overload-check: write artifact: %w", err)
+		}
+		fmt.Printf("artifact written to %s\n", outPath)
+	}
+	if !art.Pass {
+		for _, f := range art.Failures {
+			fmt.Fprintln(os.Stderr, "overload-check:", f)
+		}
+		return fmt.Errorf("overload-check: admission gate failed (see above)")
+	}
+	fmt.Printf("overload goodput holds: on/baseline ratio %.2f (gate 0.7), admission-on pool bounded at %d\n",
+		res.GoodputRatioOn, res.OverloadOn.UnassignedHighWater)
+	return nil
+}

@@ -74,6 +74,20 @@ func render(st obs.Status) {
 			e.Received, e.Assigned, e.Completed, e.OnTime, e.Expired, e.Reassigned)
 		fmt.Printf("  batches %d  matcher %.3fs total\n", e.Batches, e.MatcherTimeSeconds)
 
+		if a := r.Admission; a != nil {
+			model := "(cold)"
+			if a.MedianExecSeconds > 0 {
+				model = fmt.Sprintf("median %.2fs, capacity %.1f/s", a.MedianExecSeconds, a.CapacityPerSec)
+			}
+			fmt.Printf("  admission: floor %.2f  inflight %d/%d  fleet model %s (%d samples)\n",
+				a.ProbFloor, a.Inflight, a.MaxInflight, model, a.FleetSamples)
+			fmt.Printf("  admission: admitted %d  rejected %d prob / %d rate  shed %d\n",
+				a.Admitted, a.RejectedProbability, a.RejectedRate, a.Shed)
+			for _, b := range a.Buckets {
+				fmt.Printf("  admission: bucket %-12s %.1f/%.1f tokens\n", b.Requester, b.Fill, b.Burst)
+			}
+		}
+
 		if len(r.Shards) > 0 {
 			fmt.Printf("  %-6s %-11s %-9s %-9s %s\n", "shard", "unassigned", "assigned", "terminal", "highwater")
 			for _, s := range r.Shards {

@@ -31,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"react/internal/admission"
 	"react/internal/clock"
 	"react/internal/core"
 	"react/internal/engine"
@@ -71,22 +72,28 @@ func watchEq2(eng *engine.Engine) {
 }
 
 // attachCollector wires a fresh collector onto an engine's event spine
-// and publishes its series and statusz row.
-func (ow *obsWiring) attachCollector(regionID string, eng *engine.Engine) {
+// and publishes its series and statusz row. adm is the region's
+// admission controller (nil when the plane is disabled).
+func (ow *obsWiring) attachCollector(regionID string, eng *engine.Engine, adm *admission.Controller) {
 	col := obs.NewEngineCollector()
 	col.Attach(eng)
-	ow.register(col, regionID, eng)
+	ow.register(col, regionID, eng, adm)
 }
 
 // register publishes one engine's series and statusz row.
-func (ow *obsWiring) register(col *obs.EngineCollector, regionID string, eng *engine.Engine) {
+func (ow *obsWiring) register(col *obs.EngineCollector, regionID string, eng *engine.Engine, adm *admission.Controller) {
 	if err := col.Register(ow.reg, eng, metrics.L("region", regionID)); err != nil {
 		// Duplicate registration is a wiring bug, not an operational
 		// condition; surface it loudly but keep serving tasks.
 		log.Printf("reactd: metrics for region %s: %v", regionID, err)
 		return
 	}
-	ow.regions.Add(obs.Source{ID: regionID, Engine: eng})
+	if adm != nil {
+		if err := obs.RegisterAdmission(ow.reg, adm, metrics.L("region", regionID)); err != nil {
+			log.Printf("reactd: admission metrics for region %s: %v", regionID, err)
+		}
+	}
+	ow.regions.Add(obs.Source{ID: regionID, Engine: eng, Admission: adm})
 }
 
 func main() {
@@ -109,6 +116,10 @@ func main() {
 	shards := flag.Int("shards", 0, "task-bookkeeping stripes in the scheduling engine (0 = GOMAXPROCS)")
 	httpAddr := flag.String("http", "", "observability plane listen address (e.g. :9090); empty disables /metrics, /statusz, /debug/pprof")
 	traceCap := flag.Int("trace-cap", 65536, "lifecycle events retained for /trace.csv (0 disables; needs -http, single-region mode)")
+	admissionOn := flag.Bool("admission", false, "enable deadline-aware admission control and overload shedding (docs/ADMISSION.md)")
+	maxInflight := flag.Int("max-inflight", 0, "global in-flight task ceiling (0 = unlimited; needs -admission)")
+	admitFloor := flag.Float64("admit-floor", 0, "reject submissions whose predicted deadline-meeting probability falls below this (0 disables; needs -admission)")
+	admitRate := flag.Float64("admit-rate", 0, "per-requester submit tokens per second (0 = unlimited; needs -admission)")
 	flag.Parse()
 
 	var matcher matching.Matcher
@@ -140,6 +151,15 @@ func main() {
 		},
 	}
 	opts.Monitor.Threshold = *threshold
+	if *admissionOn {
+		opts.Admission = &admission.Config{
+			ProbFloor:     *admitFloor,
+			MaxInflight:   *maxInflight,
+			RequesterRate: *admitRate,
+		}
+	} else if *maxInflight > 0 || *admitFloor > 0 || *admitRate > 0 {
+		log.Print("reactd: -max-inflight/-admit-floor/-admit-rate have no effect without -admission")
+	}
 
 	var ow *obsWiring
 	if *httpAddr != "" {
@@ -190,7 +210,7 @@ func main() {
 			eng := srv.Core().Engine()
 			watchEq2(eng)
 			if ow != nil {
-				ow.attachCollector("all", eng)
+				ow.attachCollector("all", eng, srv.Core().Admission())
 				if *traceCap > 0 {
 					traceRec = trace.NewBounded(*traceCap)
 					eng.Events().Tap(traceRec.Handle)
@@ -310,7 +330,7 @@ func serveGrid(addr, gridSpec, areaSpec string, opts core.Options, ow *obsWiring
 		if ow != nil {
 			// Each region gets its own collector so the shared registry
 			// carries one series set per region label.
-			ow.attachCollector(regionID, s.Engine())
+			ow.attachCollector(regionID, s.Engine(), s.Admission())
 		}
 		return s
 	})

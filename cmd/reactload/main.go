@@ -14,6 +14,16 @@
 // two-thirds mark, recovering every task and worker profile from the
 // write-ahead journal. The run must finish with zero unresolved tasks and
 // zero response mismatches. It is the resilience demo in one command.
+//
+// With -overload, reactload runs the open-loop overload probe instead: a
+// fixed submission schedule at -rate (default 10x the stable ratio) that
+// never slows down for the server, reporting goodput, the
+// admitted/rejected/shed/expired split, and submit-latency quantiles. By
+// default it brings up its own in-process server with the admission plane
+// on (docs/ADMISSION.md); pass -addr to aim it at a live deployment — a
+// reactd started with -admission shows the plane holding goodput, one
+// without shows the collapse. The self-contained run is the admission
+// demo in one command and the nightly overload soak.
 package main
 
 import (
@@ -41,7 +51,14 @@ func main() {
 	seed := flag.Int64("seed", time.Now().UnixNano(), "behaviour/workload seed")
 	compress := flag.Float64("compress", 100, "time compression factor")
 	chaos := flag.Bool("chaos", false, "self-contained fault-injection run: in-process server behind a chaos proxy, with resets and a mid-run restart")
+	overload := flag.Bool("overload", false, "open-loop overload probe: fixed submission schedule, goodput and admitted/rejected/shed split; self-hosts an admission-enabled server unless -addr is set explicitly")
+	duration := flag.Duration("duration", 60*time.Second, "uncompressed run length for -overload")
 	flag.Parse()
+
+	if *overload {
+		runOverload(*addr, *workers, *rate, *duration, *seed, *compress)
+		return
+	}
 
 	cfg := loadgen.Config{
 		Addr:     *addr,

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"react/internal/admission"
+	"react/internal/loadgen"
+	"react/internal/wire"
+)
+
+// runOverload drives the open-loop overload probe. Without an explicit
+// -addr it self-hosts an in-process server with the admission plane on,
+// so the command doubles as the hermetic nightly soak; the plane's time
+// constants are compressed to match the generator's scale, like the
+// deadlines are.
+func runOverload(addr string, workers int, rate float64, duration time.Duration, seed int64, compress float64) {
+	addrSet, rateSet := false, false
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "addr":
+			addrSet = true
+		case "rate":
+			rateSet = true
+		}
+	})
+	if !rateSet {
+		rate = 0 // let loadgen default to 10x the stable ratio
+	}
+
+	var cleanup func()
+	if !addrSet {
+		opts := serverOptions()
+		opts.Admission = &admission.Config{
+			ProbFloor:    0.5,
+			MaxInflight:  2 * workers,
+			ShedTarget:   time.Duration(float64(500*time.Millisecond) / compress),
+			ShedInterval: time.Duration(float64(200*time.Millisecond) / compress),
+		}
+		srv, err := wire.Serve("127.0.0.1:0", opts)
+		if err != nil {
+			log.Fatalf("reactload: overload server: %v", err)
+		}
+		addr = srv.Addr()
+		cleanup = func() { srv.Close() }
+		log.Printf("reactload: in-process admission server on %s (floor 0.5, ceiling %d)", addr, 2*workers)
+	}
+
+	rep, err := loadgen.RunOverload(loadgen.OverloadConfig{
+		Addr:     addr,
+		Workers:  workers,
+		Rate:     rate,
+		Duration: duration,
+		Seed:     seed,
+		Compress: compress,
+		Logf:     log.Printf,
+	})
+	if cleanup != nil {
+		cleanup()
+	}
+	if err != nil {
+		log.Fatalf("reactload: %v", err)
+	}
+
+	fmt.Printf("offered     %d\nadmitted    %d\nrejected    %d rate, %d probability, %d queue-full\non-time     %d (goodput %.2f/s uncompressed)\nlate        %d\nshed        %d\nexpired     %d\nsubmit p50  %v\nsubmit p99  %v\nwall time   %v\n",
+		rep.Offered, rep.Admitted,
+		rep.RejectedRate, rep.RejectedProbability, rep.QueueFull,
+		rep.OnTime, rep.GoodputPerSec, rep.Late, rep.Shed, rep.Expired,
+		rep.SubmitP50.Round(time.Microsecond), rep.SubmitP99.Round(time.Microsecond),
+		rep.Wall.Round(time.Millisecond))
+	fmt.Printf("server: assigned %d, completed %d, expired %d, workers online %d\n",
+		rep.Server.Assigned, rep.Server.Completed, rep.Server.Expired, rep.Server.WorkersOnline)
+	if rep.FailedSubmits > 0 {
+		fmt.Fprintf(os.Stderr, "warning: %d submissions failed on transport errors\n", rep.FailedSubmits)
+	}
+	// Self-contained runs double as a gate: the plane must actually turn
+	// load away (we offered 10x) and still serve real work.
+	if !addrSet {
+		if turned := rep.RejectedRate + rep.RejectedProbability + rep.QueueFull + rep.Shed; turned == 0 {
+			fmt.Fprintln(os.Stderr, "overload run FAILED: admission plane never engaged at 10x load")
+			os.Exit(1)
+		}
+		if rep.OnTime == 0 {
+			fmt.Fprintln(os.Stderr, "overload run FAILED: zero on-time completions")
+			os.Exit(1)
+		}
+		fmt.Println("overload run held: admission engaged and goodput is nonzero")
+	}
+}

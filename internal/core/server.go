@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"react/internal/admission"
 	"react/internal/clock"
 	"react/internal/dynassign"
 	"react/internal/engine"
@@ -62,6 +63,14 @@ type Options struct {
 	// everything (suits tests and short-lived tools); long-running servers
 	// should set it (reactd defaults to 1h).
 	Retention time.Duration
+
+	// Admission, when non-nil, enables the overload-protection plane
+	// (internal/admission): every Submit passes its gates, the CoDel
+	// shedder runs on the batch-poll cadence, and the controller's
+	// MaxInflight doubles as the engine's hard queue ceiling. The config's
+	// Clock and Workers fields are filled in from the server's own when
+	// unset. Nil keeps the paper's admit-everything behaviour.
+	Admission *admission.Config
 }
 
 func (o Options) normalize() Options {
@@ -111,6 +120,7 @@ type Stats struct {
 type Server struct {
 	opts      Options
 	eng       *engine.Engine
+	adm       *admission.Controller // non-nil when Options.Admission set
 	feeds     feedTable
 	store     *journal.Store      // non-nil once EnablePersistence ran
 	expireSub *event.Subscription // non-nil once Start ran with OnResult set
@@ -128,19 +138,42 @@ func New(opts Options) *Server {
 		opts: opts,
 		stop: make(chan struct{}),
 	}
-	s.eng = engine.New(engine.Config{
+	ecfg := engine.Config{
 		Clock:     opts.Clock,
 		Matcher:   opts.Matcher,
 		Schedule:  opts.Schedule,
 		Monitor:   opts.Monitor,
 		Shards:    opts.Shards,
 		Retention: opts.Retention,
-	}, engine.Hooks{
+	}
+	if opts.Admission != nil {
+		// The controller's ceiling is also installed as the engine's hard
+		// queue bound, so even submissions that bypass admission (internal
+		// paths) cannot push the live population past it.
+		ecfg.MaxInflight = opts.Admission.MaxInflight
+	}
+	s.eng = engine.New(ecfg, engine.Hooks{
 		Deliver: s.deliver,
 	})
+	if opts.Admission != nil {
+		acfg := *opts.Admission
+		if acfg.Clock == nil {
+			acfg.Clock = opts.Clock
+		}
+		if acfg.Workers == nil {
+			reg := s.eng.Workers()
+			acfg.Workers = reg.CountConnected
+		}
+		s.adm = admission.New(acfg)
+		s.eng.Events().Tap(s.adm.Tap)
+	}
 	s.feeds.init(s.eng.Tasks().Shards())
 	return s
 }
+
+// Admission exposes the overload-protection controller (nil when
+// admission is disabled) for observability wiring.
+func (s *Server) Admission() *admission.Controller { return s.adm }
 
 // Events exposes the engine's lifecycle event spine — the wire layer's
 // watch-events stream and the observability collectors feed from it.
@@ -255,9 +288,29 @@ func (s *Server) DetachWorker(id string) error {
 	return nil
 }
 
-// Submit places a task into the system.
+// Submit places a task into the system. With admission enabled it runs
+// the gates with an anonymous requester (exempt from per-requester rate
+// limits but subject to the ceiling and the probability floor);
+// transports that know who is submitting use SubmitFrom.
 func (s *Server) Submit(t taskq.Task) error {
-	return s.eng.Submit(t)
+	_, err := s.SubmitFrom("", t)
+	return err
+}
+
+// SubmitFrom places a task into the system on behalf of requester,
+// running the admission gates first when the plane is enabled. The
+// decision is returned alongside the error so transports can surface
+// the status and retry-after hint; on rejection the error is a typed
+// *admission.RejectionError and the task never reaches the store.
+func (s *Server) SubmitFrom(requester string, t taskq.Task) (admission.Decision, error) {
+	if s.adm == nil {
+		return admission.Decision{Status: admission.StatusAdmitted}, s.eng.Submit(t)
+	}
+	d := s.adm.Decide(requester, t)
+	if !d.Admitted() {
+		return d, d.Err()
+	}
+	return d, s.eng.Submit(t)
 }
 
 // Complete records a worker's answer for a task it holds. The execution
@@ -411,8 +464,20 @@ func (s *Server) batchLoop() {
 		case <-ticker.C:
 		}
 		s.eng.Tick()
+		if s.adm != nil {
+			// Shedding rides the same cadence as expiry: after the tick has
+			// expired what the clock already killed, CoDel decides whether
+			// the surviving backlog's queue delay warrants shedding more.
+			s.adm.TickShed(enginePool{s.eng})
+		}
 	}
 }
+
+// enginePool adapts the engine to the shedder's Pool seam.
+type enginePool struct{ eng *engine.Engine }
+
+func (p enginePool) Unassigned() []taskq.Task { return p.eng.Tasks().Unassigned() }
+func (p enginePool) Shed(taskID string) error { return p.eng.Shed(taskID) }
 
 // monitorLoop runs the Eq. 2 sweep.
 func (s *Server) monitorLoop() {

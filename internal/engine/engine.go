@@ -93,6 +93,10 @@ type Config struct {
 	// Retention bounds how long terminal task records are kept for late
 	// Feedback. Zero keeps everything.
 	Retention time.Duration
+	// MaxInflight caps the live (unassigned + assigned) task population: a
+	// Submit that would exceed it fails with ErrQueueFull. Zero means
+	// unbounded — the paper's original intake behaviour.
+	MaxInflight int
 	// Latency models the matcher's wall time for one batch (the analytic
 	// model of DESIGN.md §2). Nil charges nothing: the batch applies with
 	// the real elapsed time already spent.
@@ -128,7 +132,17 @@ var (
 	// grade is not consumed, so the requester learns it went nowhere
 	// instead of silently losing the accuracy update.
 	ErrNoWorker = errors.New("engine: no worker to credit feedback to")
+	// ErrQueueFull rejects a Submit that would push the live task
+	// population past Config.MaxInflight. Retryable: capacity frees as
+	// tasks complete or expire.
+	ErrQueueFull = errors.New("engine: queue full")
 )
+
+// ErrDuplicateTask re-exports taskq's sentinel at the engine boundary so
+// transports can map it to a permanent wire error code without reaching
+// into task-store internals. It IS taskq.ErrDuplicateTask: errors.Is
+// matches either name.
+var ErrDuplicateTask = taskq.ErrDuplicateTask
 
 // Stats is a snapshot of the engine's counters.
 type Stats struct {
@@ -137,6 +151,7 @@ type Stats struct {
 	Completed   int64
 	OnTime      int64
 	Expired     int64
+	Shed        int64 // subset of Expired terminated by admission control
 	Reassigned  int64
 	Batches     int64
 	MatcherTime time.Duration
@@ -150,6 +165,7 @@ type counters struct {
 	completed  atomic.Int64
 	onTime     atomic.Int64
 	expired    atomic.Int64
+	shed       atomic.Int64
 	reassigned atomic.Int64
 	batches    atomic.Int64
 	matcherNs  atomic.Int64
@@ -208,12 +224,32 @@ func (e *Engine) Tasks() *TaskStore { return e.tasks }
 // the event package contract before choosing.
 func (e *Engine) Events() *event.Bus { return e.bus }
 
-// Submit places a task into the system.
+// Submit places a task into the system. With Config.MaxInflight set, a
+// submission that would exceed the live-task ceiling fails with
+// ErrQueueFull before touching the store.
 func (e *Engine) Submit(t taskq.Task) error {
+	if e.cfg.MaxInflight > 0 {
+		if u, a, _, _ := e.tasks.Counts(); u+a >= e.cfg.MaxInflight {
+			return fmt.Errorf("%w: %d tasks in flight (ceiling %d)", ErrQueueFull, u+a, e.cfg.MaxInflight)
+		}
+	}
 	if err := e.tasks.Submit(t); err != nil {
 		return err
 	}
 	e.ctr.received.Add(1)
+	return nil
+}
+
+// Shed terminates an unassigned task on admission control's orders. The
+// record lands as Expired (the requester-visible outcome of never being
+// served) but the spine event carries taskq.CauseShed, and the engine
+// counts it under both Expired and Shed.
+func (e *Engine) Shed(taskID string) error {
+	if _, err := e.tasks.Shed(taskID); err != nil {
+		return err
+	}
+	e.ctr.expired.Add(1)
+	e.ctr.shed.Add(1)
 	return nil
 }
 
@@ -335,6 +371,7 @@ func (e *Engine) Stats() Stats {
 		Completed:   e.ctr.completed.Load(),
 		OnTime:      e.ctr.onTime.Load(),
 		Expired:     e.ctr.expired.Load(),
+		Shed:        e.ctr.shed.Load(),
 		Reassigned:  e.ctr.reassigned.Load(),
 		Batches:     e.ctr.batches.Load(),
 		MatcherTime: time.Duration(e.ctr.matcherNs.Load()),
@@ -351,6 +388,7 @@ func (e *Engine) RestoreStats(st Stats) {
 	e.ctr.completed.Store(st.Completed)
 	e.ctr.onTime.Store(st.OnTime)
 	e.ctr.expired.Store(st.Expired)
+	e.ctr.shed.Store(st.Shed)
 	e.ctr.reassigned.Store(st.Reassigned)
 }
 

@@ -81,6 +81,12 @@ func (s *TaskStore) Complete(taskID string) (taskq.Record, error) {
 // MarkGraded records that the requester's feedback has been consumed.
 func (s *TaskStore) MarkGraded(taskID string) error { return s.shard(taskID).MarkGraded(taskID) }
 
+// Shed terminates an unassigned task on admission control's orders (see
+// taskq.Manager.Shed), returning the final record.
+func (s *TaskStore) Shed(taskID string) (taskq.Record, error) {
+	return s.shard(taskID).Shed(taskID)
+}
+
 // Unassigned snapshots the tasks waiting for a worker, oldest submission
 // first (ties broken by id), merged across shards. The merge collects the
 // per-shard slices first and allocates the result once at the summed

@@ -1,0 +1,254 @@
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"react/internal/clock"
+	"react/internal/crowd"
+	"react/internal/wire"
+	"react/internal/workload"
+)
+
+// OverloadConfig parameterizes an open-loop overload run: the submission
+// schedule is fixed by Rate and Duration and never slows down for the
+// server, which is what makes overload overload. Pointed at a server with
+// the admission plane on, the report splits the offered load into what was
+// admitted, what each gate turned away, and what the shedder later
+// evicted; pointed at a plain server it records the collapse instead.
+type OverloadConfig struct {
+	Addr     string        // region server address (required)
+	Workers  int           // crowd size (default 20)
+	Rate     float64       // offered tasks per *uncompressed* second (default 10x the stable ratio)
+	Duration time.Duration // uncompressed run length (default 60s)
+	Seed     int64         // behaviour/workload seed
+	Compress float64       // time compression factor (default 100)
+	Logf     func(format string, args ...any)
+
+	// Clock is the timebase for pacing and latency measurement (default
+	// clock.System{}).
+	Clock clock.Sleeper
+}
+
+func (c OverloadConfig) normalize() OverloadConfig {
+	if c.Workers <= 0 {
+		c.Workers = 20
+	}
+	if c.Rate <= 0 {
+		// Ten times the paper's stable operating ratio (~80 workers per
+		// task/s): deliberately past what the fleet can serve.
+		c.Rate = 10 * float64(c.Workers) / 80
+	}
+	if c.Duration <= 0 {
+		c.Duration = 60 * time.Second
+	}
+	if c.Compress <= 0 {
+		c.Compress = 100
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	if c.Clock == nil {
+		c.Clock = clock.System{}
+	}
+	return c
+}
+
+// OverloadReport splits the offered load by outcome. Offered = Admitted +
+// RejectedRate + RejectedProbability + QueueFull + FailedSubmits; admitted
+// tasks then finish as on-time, late, shed, or expired (a handful may
+// still be open when the drain window closes).
+type OverloadReport struct {
+	Offered             int
+	Admitted            int
+	RejectedRate        int // token-bucket rejections (retryable)
+	RejectedProbability int // deadline-probability-floor rejections (permanent)
+	QueueFull           int // engine hard-ceiling rejections (retryable)
+	FailedSubmits       int // transport or unclassified submission errors
+
+	OnTime  int
+	Late    int
+	Shed    int // terminated by the CoDel shedder (expire events with cause "shed")
+	Expired int // deadline passed unserved
+
+	// GoodputPerSec is on-time completions per uncompressed second —
+	// directly comparable to Rate.
+	GoodputPerSec float64
+
+	// Submit latency quantiles over every submission attempt, including
+	// rejected ones (a rejection is still a round trip).
+	SubmitP50 time.Duration
+	SubmitP99 time.Duration
+
+	Wall   time.Duration
+	Server wire.StatsPayload
+}
+
+// RunOverload executes the open-loop run: Workers crowd connections with
+// §V.C behaviours, one requester firing the fixed submission schedule, and
+// the server's lifecycle event stream for outcome attribution (the "shed"
+// cause only travels there).
+func RunOverload(cfg OverloadConfig) (OverloadReport, error) {
+	cfg = cfg.normalize()
+	start := cfg.Clock.Now()
+
+	gen := workload.Generator{Prefix: fmt.Sprintf("over-%d", cfg.Seed)}.Normalize()
+	locRng := rand.New(rand.NewSource(cfg.Seed ^ 0x10c))
+	behaviors := crowd.NewPopulation(cfg.Workers, rand.New(rand.NewSource(cfg.Seed)))
+	var wg sync.WaitGroup
+	workers := make([]*wire.Client, 0, cfg.Workers)
+	defer func() {
+		for _, w := range workers {
+			w.Close()
+		}
+	}()
+	for i, b := range behaviors {
+		cl, err := wire.Dial(cfg.Addr)
+		if err != nil {
+			return OverloadReport{}, fmt.Errorf("loadgen: worker dial: %w", err)
+		}
+		workers = append(workers, cl)
+		id := fmt.Sprintf("over-w%03d", i)
+		loc := gen.Area.RandomPoint(locRng)
+		if err := cl.Register(id, loc.Lat, loc.Lon); err != nil {
+			return OverloadReport{}, fmt.Errorf("loadgen: register %s: %w", id, err)
+		}
+		wg.Add(1)
+		go func(id string, cl *wire.Client, b crowd.Behavior, seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for a := range cl.Assignments() {
+				exec := time.Duration(float64(b.ExecTime(rng)) / cfg.Compress)
+				cfg.Clock.Sleep(exec)
+				cl.Complete(a.TaskID, id, "synthetic answer")
+			}
+		}(id, cl, b, cfg.Seed^int64(i*2654435761))
+	}
+
+	// Requester: the lifecycle event stream carries every outcome this
+	// report splits on — complete (on-time or late) and expire, with the
+	// expire cause distinguishing shedder evictions from plain deadline
+	// misses.
+	req, err := wire.Dial(cfg.Addr)
+	if err != nil {
+		return OverloadReport{}, fmt.Errorf("loadgen: requester dial: %w", err)
+	}
+	defer req.Close()
+	if err := req.WatchEvents(""); err != nil {
+		return OverloadReport{}, err
+	}
+
+	var rep OverloadReport
+	var mu sync.Mutex
+	outstanding := make(map[string]struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for ev := range req.Events() {
+			if !ev.Terminal() {
+				continue
+			}
+			mu.Lock()
+			if _, open := outstanding[ev.TaskID]; open {
+				delete(outstanding, ev.TaskID)
+				switch {
+				case ev.Kind == "complete" && ev.MetDeadline:
+					rep.OnTime++
+				case ev.Kind == "complete":
+					rep.Late++
+				case ev.Cause == "shed":
+					rep.Shed++
+				default:
+					rep.Expired++
+				}
+			}
+			mu.Unlock()
+		}
+	}()
+
+	// Open-loop submissions: one attempt per schedule slot, rejections
+	// counted and left behind — retrying them would close the loop.
+	total := int(cfg.Rate * cfg.Duration.Seconds())
+	gap := time.Duration(float64(time.Second) / cfg.Rate / cfg.Compress)
+	wrng := rand.New(rand.NewSource(cfg.Seed ^ 0x10adfeed))
+	latencies := make([]time.Duration, 0, total)
+	for i := 0; i < total; i++ {
+		task := gen.Make(i, cfg.Clock.Now(), wrng)
+		deadline := time.Duration(float64(task.Deadline.Sub(cfg.Clock.Now())) / cfg.Compress)
+		payload := wire.TaskPayload{
+			ID:         task.ID,
+			Lat:        task.Location.Lat,
+			Lon:        task.Location.Lon,
+			DeadlineMS: deadline.Milliseconds(),
+			Reward:     task.Reward,
+			Category:   task.Category,
+		}
+		rep.Offered++
+		t0 := cfg.Clock.Now()
+		_, err := req.SubmitAdmit(payload)
+		latencies = append(latencies, cfg.Clock.Now().Sub(t0))
+		if err == nil {
+			mu.Lock()
+			outstanding[payload.ID] = struct{}{}
+			rep.Admitted++
+			mu.Unlock()
+		} else {
+			var se *wire.ServerError
+			switch {
+			case errors.As(err, &se) && se.Code == wire.CodeRejectedRate:
+				rep.RejectedRate++
+			case errors.As(err, &se) && se.Code == wire.CodeRejectedProbability:
+				rep.RejectedProbability++
+			case errors.As(err, &se) && se.Code == wire.CodeQueueFull:
+				rep.QueueFull++
+			default:
+				rep.FailedSubmits++
+				cfg.Logf("loadgen: submit %s failed: %v", payload.ID, err)
+			}
+		}
+		cfg.Clock.Sleep(gap)
+	}
+	cfg.Logf("loadgen: offered %d tasks (%d admitted), draining", rep.Offered, rep.Admitted)
+
+	// Drain: give admitted tasks their deadlines (compressed) to reach a
+	// terminal event, then stop counting.
+	window := time.Duration(float64(3*time.Minute) / cfg.Compress * 2)
+	deadline := cfg.Clock.Now().Add(window)
+	for cfg.Clock.Now().Before(deadline) {
+		mu.Lock()
+		open := len(outstanding)
+		mu.Unlock()
+		if open == 0 {
+			break
+		}
+		cfg.Clock.Sleep(10 * time.Millisecond)
+	}
+
+	stats, statsErr := req.Stats()
+	for _, w := range workers {
+		w.Close()
+	}
+	wg.Wait()
+	req.Close()
+	<-done
+	if statsErr == nil {
+		rep.Server = stats
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	rep.Wall = cfg.Clock.Now().Sub(start)
+	// Goodput is reported against uncompressed time so it is in Rate's
+	// units: the wall run is Duration/Compress long.
+	rep.GoodputPerSec = float64(rep.OnTime) / cfg.Duration.Seconds()
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	if n := len(latencies); n > 0 {
+		rep.SubmitP50 = latencies[n/2]
+		rep.SubmitP99 = latencies[n*99/100]
+	}
+	return rep, nil
+}

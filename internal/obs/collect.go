@@ -8,6 +8,7 @@ package obs
 import (
 	"fmt"
 
+	"react/internal/admission"
 	"react/internal/engine"
 	"react/internal/event"
 	"react/internal/metrics"
@@ -242,6 +243,86 @@ func (c *EngineCollector) Register(reg *metrics.Registry, eng *engine.Engine, la
 			return err
 		}
 	}
+	return nil
+}
+
+// admissionProbHistogramWidth/Buckets shape the predicted deadline-
+// meeting-probability histogram: 0.02-wide buckets spanning [0, 1]. Mass
+// piling up just above the floor means the plane is running at the edge
+// of its capacity model.
+const (
+	admissionProbHistogramWidth   = 0.02
+	admissionProbHistogramBuckets = 50
+)
+
+// RegisterAdmission exposes an admission controller's decision counters,
+// load gauges, and the per-decision probability histogram. It installs
+// the controller's observer, so call it at most once per controller and
+// before traffic starts. Per-requester bucket fills are deliberately not
+// exported here (the registry has no dynamic labels); they live in the
+// /statusz admission block instead.
+func RegisterAdmission(reg *metrics.Registry, ctl *admission.Controller, labels ...metrics.Label) error {
+	counters := []struct {
+		name, help string
+		read       func(admitted, rejProb, rejRate, shed int64) int64
+	}{
+		{"react_admission_admitted_total", "submissions admitted", func(a, _, _, _ int64) int64 { return a }},
+		{"react_admission_rejected_probability_total", "submissions rejected below the probability floor", func(_, p, _, _ int64) int64 { return p }},
+		{"react_admission_rejected_rate_total", "submissions rejected by rate or concurrency limits", func(_, _, r, _ int64) int64 { return r }},
+		{"react_admission_shed_total", "queued tasks shed by the queue-delay controller", func(_, _, _, s int64) int64 { return s }},
+	}
+	for _, c := range counters {
+		c := c
+		read := func() float64 { return float64(c.read(ctl.Counters())) }
+		if err := reg.RegisterCounterFunc(c.name, c.help, read, labels...); err != nil {
+			return err
+		}
+	}
+	if err := reg.RegisterGauge("react_admission_inflight",
+		"tasks submitted but not yet terminal, as seen by admission", func() float64 {
+			inflight, _ := ctl.Loads()
+			return float64(inflight)
+		}, labels...); err != nil {
+		return err
+	}
+	if err := reg.RegisterGauge("react_admission_unassigned",
+		"tasks waiting for a worker, as seen by admission", func() float64 {
+			_, unassigned := ctl.Loads()
+			return float64(unassigned)
+		}, labels...); err != nil {
+		return err
+	}
+	if err := reg.RegisterGauge("react_admission_prob_floor",
+		"configured admission probability floor", func() float64 { return ctl.Config().ProbFloor }, labels...); err != nil {
+		return err
+	}
+	if err := reg.RegisterGauge("react_admission_fleet_samples",
+		"execution-time samples in the pooled fleet model", func() float64 {
+			n, _, _ := ctl.FleetModel()
+			return float64(n)
+		}, labels...); err != nil {
+		return err
+	}
+	if err := reg.RegisterGauge("react_admission_capacity_per_second",
+		"estimated fleet service rate: online workers over median service time (0 while the model is cold)", func() float64 {
+			_, median, warm := ctl.FleetModel()
+			if !warm || median <= 0 || ctl.Config().Workers == nil {
+				return 0
+			}
+			return float64(ctl.Config().Workers()) / median
+		}, labels...); err != nil {
+		return err
+	}
+
+	probHist, err := metrics.NewHistogram(admissionProbHistogramWidth, admissionProbHistogramBuckets)
+	if err != nil {
+		panic(err) // constants above are valid by construction
+	}
+	if err := reg.RegisterHistogram("react_admission_probability",
+		"predicted deadline-meeting probability per admission decision", probHist, labels...); err != nil {
+		return err
+	}
+	ctl.SetObserver(func(d admission.Decision) { probHist.Observe(d.Probability) })
 	return nil
 }
 

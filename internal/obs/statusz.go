@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"react/internal/admission"
 	"react/internal/engine"
 	"react/internal/profile"
 )
@@ -16,6 +17,9 @@ const DefaultWorkerLimit = 50
 type Source struct {
 	ID     string
 	Engine *engine.Engine
+	// Admission is the region's admission controller, nil when the
+	// admission plane is disabled.
+	Admission *admission.Controller
 }
 
 // EngineStatus mirrors engine.Stats with JSON tags.
@@ -70,6 +74,9 @@ type RegionStatus struct {
 	Workers       []WorkerStatus `json:"workers"`
 	TasksBacklog  int            `json:"tasks_backlog"`
 	TasksRetained int            `json:"tasks_retained"`
+	// Admission is the admission plane's snapshot (floor, load gauges,
+	// decision counters, per-requester buckets); absent when disabled.
+	Admission *admission.Snapshot `json:"admission,omitempty"`
 }
 
 // Status is the /statusz document.
@@ -119,6 +126,10 @@ func buildRegion(src Source, workerLimit int) RegionStatus {
 	rs.WorkersElided = len(all) - len(shown)
 	for _, p := range shown {
 		rs.Workers = append(rs.Workers, buildWorker(p))
+	}
+	if src.Admission != nil {
+		snap := src.Admission.Snapshot()
+		rs.Admission = &snap
 	}
 	return rs
 }

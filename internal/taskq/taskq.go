@@ -110,6 +110,7 @@ const (
 	CauseDeadline      = "deadline"       // the task's deadline passed
 	CauseRetention     = "retention"      // retention GC dropped a terminal record
 	CauseExplicit      = "explicit"       // a direct Forget call
+	CauseShed          = "shed"           // admission control shed the task under overload
 )
 
 // Event is one observed mutation: the kind plus a copy of the record as it
@@ -357,6 +358,31 @@ func (m *Manager) expire(includeAssigned bool) []Record {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Task.ID < out[j].Task.ID })
 	return out
+}
+
+// Shed terminates an unassigned task before its deadline because admission
+// control decided the pool can no longer plausibly serve it. The record
+// lands in the same terminal state as a deadline expiry (Expired — the
+// requester-visible outcome is identical: no answer arrived) but the
+// emitted event carries CauseShed, so the spine, journal, and any tail
+// watcher can attribute the loss to overload protection rather than the
+// clock. Only unassigned tasks can be shed; a task already in a worker's
+// hands runs to completion.
+func (m *Manager) Shed(taskID string) (Record, error) {
+	now := m.clk.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.records[taskID]
+	if !ok {
+		return Record{}, fmt.Errorf("%w: %q", ErrUnknownTask, taskID)
+	}
+	if r.Status != Unassigned {
+		return Record{}, fmt.Errorf("%w: shed %q while %v", ErrBadState, taskID, r.Status)
+	}
+	m.transition(r, Expired)
+	r.FinishedAt = now
+	m.emit(EvExpire, r, now, r.Worker, CauseShed, 0)
+	return *r, nil
 }
 
 // RemainingTime reports the time from now until the task's deadline

@@ -15,9 +15,33 @@ import (
 // timeouts) are reported as other error types — that distinction is how
 // ReconnectingClient decides which failures are worth retrying on a fresh
 // connection.
-type ServerError struct{ msg string }
+type ServerError struct {
+	msg string
+	// Code is the server's machine-readable error class (one of the
+	// Code* constants), "" when the server sent none.
+	Code string
+	// Admission carries the admission verdict behind a typed rejection
+	// (status, probability, floor, retry-after hint), nil otherwise.
+	Admission *AdmissionPayload
+}
 
 func (e *ServerError) Error() string { return "wire: " + e.msg }
+
+// Retryable reports whether the same request is worth retrying later:
+// true for capacity/rate rejections (which clear as load drains), false
+// for permanent classes (duplicate id, past deadline, probability floor)
+// and for unclassified errors.
+func (e *ServerError) Retryable() bool {
+	return e.Code == CodeQueueFull || e.Code == CodeRejectedRate
+}
+
+// RetryAfter is the server's retry hint (0 when it sent none).
+func (e *ServerError) RetryAfter() time.Duration {
+	if e.Admission == nil {
+		return 0
+	}
+	return time.Duration(e.Admission.RetryAfterMS) * time.Millisecond
+}
 
 // ErrTimeout wraps a call whose response did not arrive within the call
 // timeout. The connection stays open: the late response, if it ever
@@ -256,7 +280,7 @@ func (cl *Client) call(m Message) (Message, error) {
 				// Matched — or a legacy server that does not echo Seq,
 				// which can only answer in order.
 				if resp.Type == "error" {
-					return resp, &ServerError{msg: resp.Error}
+					return resp, &ServerError{msg: resp.Error, Code: resp.Code, Admission: resp.Admission}
 				}
 				return resp, nil
 			case resp.Seq < m.Seq:
@@ -306,9 +330,20 @@ func (cl *Client) SetAvailable(v bool) error {
 }
 
 // Submit places a task. DeadlineMS is relative to server receipt.
+// Rejections (duplicate id, queue full, admission) surface as
+// *ServerError with the code and retry-after hint attached.
 func (cl *Client) Submit(t TaskPayload) error {
 	_, err := cl.call(Message{Type: "submit", Task: &t})
 	return err
+}
+
+// SubmitAdmit places a task and returns the server's admission verdict
+// alongside the error. The payload is nil when the server has no
+// admission plane (and on transport failures); on typed rejections both
+// the payload and a *ServerError are returned.
+func (cl *Client) SubmitAdmit(t TaskPayload) (*AdmissionPayload, error) {
+	resp, err := cl.call(Message{Type: "submit", Task: &t})
+	return resp.Admission, err
 }
 
 // Complete reports this worker's answer for a held task.

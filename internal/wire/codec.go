@@ -94,6 +94,10 @@ func AppendFrame(dst []byte, m *Message) []byte {
 		dst = append(dst, `,"error":`...)
 		dst = appendJSONString(dst, m.Error)
 	}
+	if m.Code != "" {
+		dst = append(dst, `,"code":`...)
+		dst = appendJSONString(dst, m.Code)
+	}
 	if m.Assignment != nil {
 		dst = append(dst, `,"assignment":`...)
 		dst = appendAssignment(dst, m.Assignment)
@@ -128,7 +132,29 @@ func AppendFrame(dst []byte, m *Message) []byte {
 		dst = append(dst, `,"event":`...)
 		dst = appendEvent(dst, m.Event)
 	}
+	if m.Admission != nil {
+		dst = append(dst, `,"admission":`...)
+		dst = appendAdmission(dst, m.Admission)
+	}
 	return append(dst, '}', '\n')
+}
+
+func appendAdmission(dst []byte, p *AdmissionPayload) []byte {
+	dst = append(dst, `{"status":`...)
+	dst = appendJSONString(dst, p.Status)
+	if p.Probability != 0 {
+		dst = append(dst, `,"probability":`...)
+		dst = appendJSONFloat(dst, p.Probability)
+	}
+	if p.Floor != 0 {
+		dst = append(dst, `,"floor":`...)
+		dst = appendJSONFloat(dst, p.Floor)
+	}
+	if p.RetryAfterMS != 0 {
+		dst = append(dst, `,"retry_after_ms":`...)
+		dst = strconv.AppendInt(dst, p.RetryAfterMS, 10)
+	}
+	return append(dst, '}')
 }
 
 func appendTask(dst []byte, p *TaskPayload) []byte {

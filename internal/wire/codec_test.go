@@ -7,6 +7,8 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"react/internal/admission"
 )
 
 // The pooled codec and encoding/json must agree forever: every frame the
@@ -58,6 +60,16 @@ func codecCorpus() []Message {
 			Cause: "eq2", Probability: 0.125, Status: "assigned", MetDeadline: true, Attempts: 3,
 		}},
 		{Type: "event", Event: &EventPayload{Seq: 100, Kind: "expired", TaskID: "t5", AtUnixMS: -1}},
+		{Type: "error", Seq: 16, Error: "queue full", Code: CodeQueueFull},
+		{Type: "error", Seq: 17, Error: "rate limited", Code: CodeRejectedRate, Admission: &AdmissionPayload{
+			Status: string(admission.StatusRejectedRate), RetryAfterMS: 1500,
+		}},
+		{Type: "error", Seq: 18, Error: "hopeless deadline", Code: CodeRejectedProbability, Admission: &AdmissionPayload{
+			Status: string(admission.StatusRejectedProbability), Probability: 0.03125, Floor: 0.5,
+		}},
+		{Type: "ok", Seq: 19, Admission: &AdmissionPayload{
+			Status: string(admission.StatusAdmitted), Probability: 0.9990234375,
+		}},
 	}
 }
 
@@ -139,6 +151,10 @@ func TestFrameEncodeOmitsZeroFields(t *testing.T) {
 		{Message{Type: "ok", Seq: 7}, `{"type":"ok","seq":7}` + "\n"},
 		{Message{Type: "stats", Seq: 1, Worker: "w"}, `{"type":"stats","seq":1,"worker":"w"}` + "\n"},
 		{Message{Type: "error", Seq: 2, Error: "bad"}, `{"type":"error","seq":2,"error":"bad"}` + "\n"},
+		{Message{Type: "error", Seq: 4, Error: "full", Code: CodeQueueFull},
+			`{"type":"error","seq":4,"error":"full","code":"queue_full"}` + "\n"},
+		{Message{Type: "ok", Seq: 5, Admission: &AdmissionPayload{Status: "admitted"}},
+			`{"type":"ok","seq":5,"admission":{"status":"admitted"}}` + "\n"},
 	} {
 		if got := string(AppendFrame(nil, &tc.m)); got != tc.want {
 			t.Errorf("AppendFrame(%+v) = %q, want %q", tc.m, got, tc.want)

@@ -490,12 +490,44 @@ func (rc *ReconnectingClient) Watch() error {
 	return err
 }
 
+// submitRetries bounds how many times Submit re-presents a task after a
+// retryable rejection before surfacing the error to the caller.
+const submitRetries = 4
+
 // Submit places a task. During an outage it blocks until the session is
 // back. A call timeout is returned as-is: the task may or may not have
 // been accepted, and a resubmission of the same id is answered with a
 // duplicate-task error, so replay is safe to attempt.
+//
+// Retryable rejections (queue full, admission rate limit) are retried up
+// to submitRetries times, honoring the server's retry-after hint with
+// seeded jitter so a crowd of rejected requesters does not re-present in
+// phase. Permanent rejections (duplicate id, past deadline, probability
+// floor) are returned immediately — the deadline only gets closer, so
+// waiting cannot help.
 func (rc *ReconnectingClient) Submit(t TaskPayload) error {
-	return rc.do(func(cl *Client) error { return cl.Submit(t) })
+	for attempt := 0; ; attempt++ {
+		err := rc.do(func(cl *Client) error { return cl.Submit(t) })
+		var se *ServerError
+		if err == nil || !errors.As(err, &se) || !se.Retryable() || attempt >= submitRetries {
+			return err
+		}
+		wait := se.RetryAfter()
+		if wait > 0 {
+			rc.mu.Lock()
+			jitter := 0.5 + rc.rng.Float64() // [0.5, 1.5)
+			rc.mu.Unlock()
+			wait = time.Duration(float64(wait) * jitter)
+			if wait > rc.cfg.MaxDelay {
+				wait = rc.cfg.MaxDelay
+			}
+		} else {
+			wait = rc.backoff(attempt)
+		}
+		if !rc.sleep(wait) {
+			return err
+		}
+	}
 }
 
 // Complete reports a worker's answer for a held task.

@@ -11,7 +11,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"react/internal/admission"
 	"react/internal/core"
+	"react/internal/engine"
 	"react/internal/event"
 	"react/internal/profile"
 	"react/internal/region"
@@ -318,14 +320,44 @@ func (c *conn) send(m Message) error {
 }
 
 // reply answers one request, echoing its sequence number so the client
-// can correlate the response even after its own call timed out.
+// can correlate the response even after its own call timed out. Errors
+// with a known class additionally carry a machine-readable Code so
+// clients distinguish retryable from permanent failures.
 func (c *conn) reply(seq uint64, err error) {
 	if err != nil {
 		c.srv.errorsSent.Add(1)
-		c.send(Message{Type: "error", Seq: seq, Error: err.Error()})
+		c.send(Message{Type: "error", Seq: seq, Error: err.Error(), Code: errCode(err)})
 		return
 	}
 	c.send(Message{Type: "ok", Seq: seq})
+}
+
+// errCode maps a backend error to its stable wire code ("" for errors
+// with no defined class).
+func errCode(err error) string {
+	var rej *admission.RejectionError
+	switch {
+	case errors.As(err, &rej):
+		return string(rej.Decision.Status)
+	case errors.Is(err, engine.ErrQueueFull):
+		return CodeQueueFull
+	case errors.Is(err, taskq.ErrDuplicateTask):
+		return CodeDuplicateTask
+	case errors.Is(err, taskq.ErrPastDeadline):
+		return CodePastDeadline
+	}
+	return ""
+}
+
+// requester identifies the submitting party for per-requester rate
+// fairness: the registered worker id when the connection has one, else
+// the remote address — one bucket per connection, which is the natural
+// identity a TCP transport can actually attest.
+func (c *conn) requester() string {
+	if c.worker != "" {
+		return c.worker
+	}
+	return c.c.RemoteAddr().String()
 }
 
 func (c *conn) readLoop() {
@@ -452,7 +484,31 @@ func (c *conn) handle(m *Message) {
 			return
 		}
 		//lint:ignore clocktaint the live server stamps real arrival time on submitted tasks by definition; replayable runs go through the sim harness
-		c.reply(m.Seq, s.backend.Submit(m.Task.Task(time.Now())))
+		t := m.Task.Task(time.Now())
+		// Backends with an admission plane run the gates and the reply
+		// carries the verdict: ok frames the probability, error frames the
+		// typed status plus a retry-after hint. Plain backends (admission
+		// off, federations) answer as before — the Admission field simply
+		// never appears, which is what keeps old clients working.
+		type admissionBackend interface {
+			SubmitFrom(requester string, t taskq.Task) (admission.Decision, error)
+			Admission() *admission.Controller
+		}
+		if ab, ok := s.backend.(admissionBackend); ok && ab.Admission() != nil {
+			d, err := ab.SubmitFrom(c.requester(), t)
+			if err != nil {
+				c.srv.errorsSent.Add(1)
+				msg := Message{Type: "error", Seq: m.Seq, Error: err.Error(), Code: errCode(err)}
+				if !d.Admitted() {
+					msg.Admission = toAdmissionPayload(d)
+				}
+				c.send(msg)
+				return
+			}
+			c.send(Message{Type: "ok", Seq: m.Seq, Admission: toAdmissionPayload(d)})
+			return
+		}
+		c.reply(m.Seq, s.backend.Submit(t))
 
 	case "complete":
 		if m.TaskID == "" || m.Worker == "" {

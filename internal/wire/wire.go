@@ -14,6 +14,7 @@ package wire
 import (
 	"time"
 
+	"react/internal/admission"
 	"react/internal/core"
 	"react/internal/event"
 	"react/internal/region"
@@ -52,8 +53,12 @@ type Message struct {
 	Answer   string `json:"answer,omitempty"`
 	Positive *bool  `json:"positive,omitempty"`
 
-	// error
+	// error; Code, when present, is a stable machine-readable class (one
+	// of the Code* constants) so clients distinguish retryable failures
+	// (queue full, rate limited) from permanent ones (duplicate id,
+	// past deadline) without parsing the human-readable text.
 	Error string `json:"error,omitempty"`
+	Code  string `json:"code,omitempty"`
 
 	// pushes and stats responses
 	Assignment *AssignmentPayload   `json:"assignment,omitempty"`
@@ -62,6 +67,58 @@ type Message struct {
 	Regions    []RegionStatsPayload `json:"regions,omitempty"`
 	Status     *TaskStatusPayload   `json:"status,omitempty"`
 	Event      *EventPayload        `json:"event,omitempty"`
+
+	// Admission is the submit reply's admission verdict: present on "ok"
+	// (status "admitted" plus the predicted deadline-meeting probability)
+	// and on admission-rejection "error" frames (status, probability,
+	// floor, retry-after hint). Servers without admission enabled omit it.
+	Admission *AdmissionPayload `json:"admission,omitempty"`
+}
+
+// Error codes carried in Message.Code. Stable wire vocabulary — clients
+// switch on these, so renaming one is a protocol break.
+const (
+	// CodeDuplicateTask: the task id was already submitted (permanent —
+	// retrying the same id can never succeed).
+	CodeDuplicateTask = "duplicate_task"
+	// CodeQueueFull: the engine's in-flight ceiling is reached
+	// (retryable — capacity frees as tasks finish).
+	CodeQueueFull = "queue_full"
+	// CodePastDeadline: the deadline was not in the future at receipt
+	// (permanent for this payload).
+	CodePastDeadline = "past_deadline"
+	// CodeRejectedProbability: admission predicted the deadline cannot
+	// plausibly be met (permanent — the deadline only gets closer).
+	CodeRejectedProbability = string(admission.StatusRejectedProbability)
+	// CodeRejectedRate: admission rejected on rate or concurrency limits
+	// (retryable — honor the retry-after hint).
+	CodeRejectedRate = string(admission.StatusRejectedRate)
+)
+
+// AdmissionPayload is the wire form of admission.Decision.
+type AdmissionPayload struct {
+	// Status is "admitted", "rejected_probability", or "rejected_rate"
+	// (submissions never see "shed": shedding happens after admission,
+	// and surfaces as an expire event with cause "shed" on the watch
+	// stream instead).
+	Status string `json:"status"`
+	// Probability is the predicted deadline-meeting probability at
+	// submit time (0 while the server's fleet model is cold).
+	Probability float64 `json:"probability,omitempty"`
+	// Floor is the server's configured rejection threshold.
+	Floor float64 `json:"floor,omitempty"`
+	// RetryAfterMS hints when a rejected submission is worth retrying
+	// (only on retryable rejections).
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+func toAdmissionPayload(d admission.Decision) *AdmissionPayload {
+	return &AdmissionPayload{
+		Status:       string(d.Status),
+		Probability:  d.Probability,
+		Floor:        d.Floor,
+		RetryAfterMS: int64(d.RetryAfter / time.Millisecond),
+	}
 }
 
 // EventPayload is the wire form of one lifecycle event from the engine's
